@@ -1,0 +1,29 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section VII).  The workload sizes are deliberately smaller than the paper's
+1000 runs per obfuscation level so that the whole harness completes in a few
+minutes; the reported *shape* (growth trends, regression slopes, who wins) is
+what matters, not the absolute repetition count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Number of random obfuscation draws per obfuscation level (paper: 1000).
+RUNS_PER_LEVEL = 3
+#: Number of random messages measured per draw.
+MESSAGES_PER_RUN = 10
+#: Obfuscation levels (transformations per node), as in the paper.
+LEVELS = (1, 2, 3, 4)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Workload configuration shared by all benchmark files."""
+    return {
+        "runs_per_level": RUNS_PER_LEVEL,
+        "messages_per_run": MESSAGES_PER_RUN,
+        "levels": LEVELS,
+    }

@@ -1,0 +1,44 @@
+"""Figure 4 — HTTP parsing and serialization time vs. applied transformations.
+
+Regenerates the paper's Figure 4: per-run parsing/serialization times against
+the number of applied transformations, with the least-squares regression lines
+and their correlation coefficients.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.codegen import GeneratedCodec
+from repro.experiments import ExperimentRunner
+from repro.protocols import http
+from repro.transforms import Obfuscator
+
+
+def test_fig4_http_times(benchmark, bench_config):
+    # Benchmarked unit: parsing one obfuscated HTTP message with a generated library.
+    graph = Obfuscator(seed=0).obfuscate(http.request_graph(), 2).graph
+    codec = GeneratedCodec(graph, seed=0)
+    data = codec.serialize(http.random_request(Random(0)))
+    benchmark(lambda: codec.parse(data))
+
+    runner = ExperimentRunner(
+        "http",
+        seed=5,
+        runs_per_level=bench_config["runs_per_level"],
+        messages_per_run=bench_config["messages_per_run"],
+    )
+    runs, parse_fit, serialize_fit = runner.time_series(levels=bench_config["levels"])
+    print()
+    print("Figure 4 — HTTP parsing/serialization time vs. applied transformations")
+    for run in runs:
+        print(f"  applied={run.applied:4d}  parse={run.parse_ms:.4f} ms  "
+              f"serialize={run.serialize_ms:.4f} ms")
+    print(f"  parsing regression:       {parse_fit.format()}")
+    print(f"  serialization regression: {serialize_fit.format()}")
+    # The paper reports a linear increase with a gentle slope; a small negative
+    # tolerance absorbs per-message timing noise on the reduced workload.
+    assert parse_fit.slope >= -0.005
+    assert serialize_fit.slope >= -0.005
+    assert max(run.parse_ms for run in runs) < 50.0
+    assert max(run.serialize_ms for run in runs) < 50.0

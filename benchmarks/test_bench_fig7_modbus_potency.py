@@ -1,0 +1,44 @@
+"""Figure 7 — Modbus normalized potency metrics vs. number of obfuscations.
+
+Regenerates the paper's Figure 7 (same layout as Figure 6, Modbus
+specification).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.codegen import generate_module
+from repro.experiments import ExperimentRunner
+from repro.metrics import measure_source
+from repro.protocols import modbus
+
+
+def test_fig7_modbus_potency(benchmark, bench_config):
+    source = generate_module(modbus.request_graph())
+    benchmark(lambda: measure_source(source))
+
+    runner = ExperimentRunner(
+        "modbus",
+        seed=8,
+        runs_per_level=bench_config["runs_per_level"],
+        messages_per_run=2,
+    )
+    series = runner.potency_series(levels=bench_config["levels"])
+    headers = ["Transf/node", "Applied", "Lines", "Structs", "CG size", "CG depth",
+               "Buffer (bytes)"]
+    rows = [
+        [passes,
+         f"{series[passes]['applied']:.1f}",
+         f"{series[passes]['lines']:.2f}",
+         f"{series[passes]['structs']:.2f}",
+         f"{series[passes]['call_graph_size']:.2f}",
+         f"{series[passes]['call_graph_depth']:.2f}",
+         f"{series[passes]['buffer_size']:.0f}"]
+        for passes in sorted(series)
+    ]
+    print()
+    print(render_table(headers, rows, title="Figure 7 — Modbus normalized potency metrics"))
+    levels = sorted(series)
+    assert series[levels[-1]]["lines"] > series[levels[0]]["lines"]
+    assert series[levels[-1]]["structs"] > series[levels[0]]["structs"]
+    assert series[levels[-1]]["call_graph_size"] > series[levels[0]]["call_graph_size"]

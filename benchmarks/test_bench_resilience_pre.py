@@ -1,0 +1,56 @@
+"""Section VII.D — resilience assessment against trace-based reverse engineering.
+
+The paper's assessment is qualitative (a Netzob expert recovered the plain
+Modbus format but failed on the obfuscated one).  This benchmark quantifies
+the same claim with the built-in PRE engine: field-boundary F1, classification
+purity and cluster-count inflation on the plain trace versus obfuscated traces
+at 1 and 2 obfuscations per node.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments import run_resilience
+from repro.pre import infer_formats
+from repro.protocols import modbus
+from repro.wire import WireCodec
+from random import Random
+
+
+def test_resilience_against_trace_inference(benchmark):
+    # Benchmarked unit: one full PRE inference over a small plain Modbus trace.
+    rng = Random(0)
+    codec = WireCodec(modbus.request_graph(), seed=0)
+    trace = [codec.serialize(modbus.realistic_request(rng, fc, tid))
+             for tid, fc in enumerate((1, 3, 6, 16) * 2, start=1)]
+    benchmark(lambda: infer_formats(trace))
+
+    report = run_resilience(passes_levels=(1, 2), seed=0, repeats=3,
+                            function_codes=(1, 3, 6, 16))
+    rows = []
+    for label, score in [("plain", report.plain),
+                         ("1 obf/node", report.obfuscated[1]),
+                         ("2 obf/node", report.obfuscated[2])]:
+        rows.append([
+            label,
+            f"{score.boundary_f1:.3f}",
+            f"{score.boundary_precision:.3f}",
+            f"{score.boundary_recall:.3f}",
+            f"{score.classification_purity:.2f}",
+            f"{score.cluster_count}/{score.true_type_count}",
+        ])
+    print()
+    print(render_table(
+        ["Protocol version", "Boundary F1", "Precision", "Recall", "Purity",
+         "Clusters/true types"],
+        rows,
+        title="Resilience — PRE inference quality (paper Sec. VII.D, quantified)",
+    ))
+    print(f"  relative F1 degradation: 1 obf/node = {report.degradation(1):.0%}, "
+          f"2 obf/node = {report.degradation(2):.0%}")
+
+    # Reproduced claim: inference quality collapses on the obfuscated protocol.
+    assert report.plain.boundary_f1 > 0.35
+    assert report.obfuscated[1].boundary_f1 < report.plain.boundary_f1
+    assert report.obfuscated[2].boundary_f1 < 0.5 * report.plain.boundary_f1
+    assert report.obfuscated[1].cluster_count > report.plain.cluster_count

@@ -1,0 +1,33 @@
+"""Table III — comparative results for the HTTP protocol.
+
+Regenerates the paper's Table III: for 1–4 obfuscations per node, the number
+of applied transformations, the normalized potency metrics (lines, structs,
+call-graph size/depth) and the absolute costs (generation, parsing and
+serialization time, buffer size), each reported as ``avg[min; max]``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments import ExperimentRunner, TABLE_HEADERS
+
+
+def test_table3_http(benchmark, bench_config):
+    runner = ExperimentRunner(
+        "http",
+        seed=3,
+        runs_per_level=bench_config["runs_per_level"],
+        messages_per_run=bench_config["messages_per_run"],
+    )
+    # The benchmarked unit is one full experiment run at one obfuscation per node.
+    benchmark(lambda: runner.run_once(passes=1, run_index=0))
+
+    table = runner.run_table(levels=bench_config["levels"])
+    rows = [table[passes].table_row() for passes in sorted(table)]
+    print()
+    print(render_table(TABLE_HEADERS, rows,
+                       title="Table III — HTTP (normalized potency, absolute costs)"))
+    for passes in bench_config["levels"][1:]:
+        assert table[passes].applied.mean > table[1].applied.mean
+    assert table[4].lines.mean >= table[1].lines.mean
+    assert table[4].structs.mean >= table[1].structs.mean

@@ -1,0 +1,30 @@
+"""Table IV — comparative results for the TCP-Modbus protocol.
+
+Regenerates the paper's Table IV (same layout as Table III, Modbus request
+specification and core application).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments import ExperimentRunner, TABLE_HEADERS
+
+
+def test_table4_modbus(benchmark, bench_config):
+    runner = ExperimentRunner(
+        "modbus",
+        seed=4,
+        runs_per_level=bench_config["runs_per_level"],
+        messages_per_run=bench_config["messages_per_run"],
+    )
+    benchmark(lambda: runner.run_once(passes=1, run_index=0))
+
+    table = runner.run_table(levels=bench_config["levels"])
+    rows = [table[passes].table_row() for passes in sorted(table)]
+    print()
+    print(render_table(TABLE_HEADERS, rows,
+                       title="Table IV — TCP-Modbus (normalized potency, absolute costs)"))
+    for passes in bench_config["levels"][1:]:
+        assert table[passes].applied.mean > table[1].applied.mean
+    assert table[4].lines.mean >= table[1].lines.mean
+    assert table[4].structs.mean >= table[1].structs.mean

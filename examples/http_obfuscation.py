@@ -1,0 +1,68 @@
+"""Obfuscating HTTP (the paper's text-protocol case study).
+
+Shows how the same logical HTTP requests look on the wire before and after
+specification-level obfuscation, and that two peers sharing the generated
+library interoperate while a regenerated protocol version is incompatible —
+the "new obfuscated versions can be deployed at regular intervals" property of
+the paper's conclusion.
+
+Run with:  python examples/http_obfuscation.py
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.codegen import GeneratedCodec
+from repro.protocols import http
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec
+
+
+def main() -> None:
+    graph = http.request_graph()
+    request = http.build_request(
+        "POST",
+        "/api/v1/orders",
+        headers=[("Host", "example.com"), ("Content-Type", "application/json"),
+                 ("X-Request-Id", "42")],
+        body=b'{"item": "sensor", "qty": 3}',
+    )
+
+    plain = WireCodec(graph, seed=0).serialize(request)
+    print("plain HTTP request:")
+    print(plain.decode("latin-1"))
+
+    # Version A of the obfuscated protocol: both peers embed the same library.
+    version_a = Obfuscator(seed=31).obfuscate(http.request_graph(), 2)
+    client_a = GeneratedCodec(version_a.graph, seed=1)
+    server_a = GeneratedCodec(version_a.graph, seed=2)
+    wire_a = client_a.serialize(request)
+    print(f"obfuscated request, protocol version A ({version_a.applied_count} transformations):")
+    print(wire_a)
+    assert server_a.parse(wire_a) == request
+    print("  -> server A recovered the request exactly\n")
+
+    # Version B: regenerated with a different seed at a later deployment.
+    version_b = Obfuscator(seed=77).obfuscate(http.request_graph(), 2)
+    server_b = GeneratedCodec(version_b.graph, seed=3)
+    print(f"protocol version B ({version_b.applied_count} transformations) "
+          f"differs on the wire: {GeneratedCodec(version_b.graph, seed=1).serialize(request) != wire_a}")
+    try:
+        recovered = server_b.parse(wire_a)
+        compatible = recovered == request
+    except Exception:
+        compatible = False
+    print(f"version B can read version A traffic: {compatible}")
+
+    # The application code is identical for every version: same logical messages.
+    rng = Random(0)
+    workload = [http.random_request(rng) for _ in range(5)]
+    for message in workload:
+        assert server_a.parse(client_a.serialize(message)) == message
+    print(f"\n{len(workload)} random requests exchanged through version A without any change "
+          f"to the application code")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Obfuscating the TCP-Modbus protocol (the paper's binary-protocol case study).
+
+The example builds the bundled Modbus request specification, applies the
+obfuscation framework at increasing strength, and reports for each level the
+potency metrics of the generated library and the wire representation of one
+fixed "read holding registers" request — the same experiment family as the
+paper's Table IV.
+
+Run with:  python examples/modbus_obfuscation.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.codegen import GeneratedCodec, generate_module
+from repro.metrics import measure_source
+from repro.protocols import modbus
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec
+
+
+def main() -> None:
+    graph = modbus.request_graph()
+    reference = measure_source(generate_module(graph))
+    request = modbus.build_request(3, transaction_id=1, unit_id=17,
+                                   start_address=107, quantity=3)
+
+    plain = WireCodec(graph, seed=0).serialize(request)
+    print(f"plain Modbus request ({len(plain)} bytes): {plain.hex(' ')}")
+
+    rows = []
+    for passes in (1, 2, 3, 4):
+        result = Obfuscator(seed=7).obfuscate(modbus.request_graph(), passes)
+        metrics = measure_source(generate_module(result.graph)).normalized(reference)
+        codec = GeneratedCodec(result.graph, seed=0)
+        wire = codec.serialize(request)
+        assert codec.parse(wire) == request
+        rows.append([
+            passes,
+            result.applied_count,
+            f"{metrics.lines:.2f}",
+            f"{metrics.structs:.2f}",
+            f"{metrics.call_graph_size:.2f}",
+            len(wire),
+        ])
+        if passes == 2:
+            print(f"\nobfuscated request at 2 transf./node ({len(wire)} bytes): {wire.hex(' ')}")
+            print("  (note: no recognizable MBAP header, shuffled/split/padded fields)\n")
+
+    print(render_table(
+        ["Transf/node", "Applied", "Lines (norm)", "Structs (norm)", "CG size (norm)",
+         "Request size (bytes)"],
+        rows,
+        title="Modbus request: potency and wire-size growth with obfuscation strength",
+    ))
+
+    # The stable accessor interface: the core application code never changes.
+    print("\nlogical message (independent of every obfuscation):")
+    for path, value in request.leaves():
+        print(f"  {path} = {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Quickstart: obfuscate a protocol specification and exchange messages.
+
+This example walks through the whole ProtoObf pipeline on a small custom
+protocol defined with the specification DSL:
+
+1. parse the message format specification,
+2. apply randomly selected obfuscating transformations,
+3. generate the standalone serialization library,
+4. build a logical message through the stable interface and exchange it,
+5. show that the wire bytes changed while the logical content did not.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.codegen import GeneratedCodec
+from repro.spec import parse_spec
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec
+
+SPEC = """
+protocol sensor;
+
+message sensor_report {
+    uint device_id : 2;
+    uint report_kind : 1;
+    uint body_len : 2;
+    sequence body length(body_len) {
+        text location delimited(";");
+        uint sample_count : 1;
+        tabular samples count(sample_count) {
+            uint channel : 1;
+            uint value : 2;
+        }
+    }
+    optional comment present_if(report_kind == 2) {
+        text note delimited("\\n");
+    }
+}
+"""
+
+
+def main() -> None:
+    # 1. Specification -> message format graph.
+    graph = parse_spec(SPEC)
+    print(f"specification parsed: {graph.stats().node_count} nodes")
+
+    # 2. Obfuscate: two randomly selected transformations per node.
+    result = Obfuscator(seed=2024).obfuscate(graph, passes=2)
+    print(f"obfuscation applied:  {result.summary()}")
+
+    # 3. The logical message is independent of the obfuscation.
+    message = {
+        "device_id": 42,
+        "report_kind": 2,
+        "body": {
+            "location": "hall-3",
+            "samples": [
+                {"channel": 1, "value": 2200},
+                {"channel": 2, "value": 1830},
+            ],
+        },
+        "comment": "temperature slightly above threshold",
+    }
+
+    plain_codec = WireCodec(graph, seed=1)
+    obfuscated_codec = GeneratedCodec(result.graph, seed=1)
+
+    plain_bytes = plain_codec.serialize(message)
+    obfuscated_bytes = obfuscated_codec.serialize(message)
+    print(f"\nplain wire message      ({len(plain_bytes)} bytes): {plain_bytes!r}")
+    print(f"obfuscated wire message ({len(obfuscated_bytes)} bytes): {obfuscated_bytes!r}")
+
+    # 4. The receiver (linked with the same generated library) recovers the message.
+    received = obfuscated_codec.parse(obfuscated_bytes)
+    assert received == message
+    print("\nreceiver recovered the logical message exactly:")
+    print(f"  location      = {received.get('body.location')}")
+    print(f"  sample count  = {received.list_length('body.samples')}")
+    print(f"  first sample  = {received.get('body.samples[0].value')}")
+
+    # 5. Every serialization of the same message may differ (random split shares,
+    #    random padding), which is what defeats trace-based classification.
+    again = obfuscated_codec.serialize(message)
+    print(f"\nsame message, second transmission differs on the wire: {again != obfuscated_bytes}")
+
+
+if __name__ == "__main__":
+    main()

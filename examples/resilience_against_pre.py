@@ -1,0 +1,52 @@
+"""Resilience against trace-based protocol reverse engineering (paper Sec. VII.D).
+
+An analyst captures a realistic Modbus trace (requests and responses for four
+function codes) and runs the trace-based inference engine on it: message
+classification by alignment similarity, then field-boundary inference per
+class.  The experiment is repeated on the plain protocol and on obfuscated
+versions, showing how inference quality collapses — the quantitative
+counterpart of the paper's expert assessment.
+
+Run with:  python examples/resilience_against_pre.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments import run_resilience
+
+
+def main() -> None:
+    report = run_resilience(passes_levels=(1, 2), seed=0, repeats=3,
+                            function_codes=(1, 3, 6, 16))
+
+    rows = []
+    for label, score in [("plain", report.plain),
+                         ("1 obfuscation/node", report.obfuscated[1]),
+                         ("2 obfuscations/node", report.obfuscated[2])]:
+        rows.append([
+            label,
+            f"{score.boundary_f1:.3f}",
+            f"{score.boundary_precision:.3f}",
+            f"{score.boundary_recall:.3f}",
+            f"{score.classification_purity:.2f}",
+            f"{score.cluster_count} (true: {score.true_type_count})",
+        ])
+    print(render_table(
+        ["Protocol version", "Boundary F1", "Precision", "Recall", "Purity", "Clusters"],
+        rows,
+        title="Trace-based inference quality on captured Modbus traffic",
+    ))
+    print()
+    print(f"relative F1 degradation at 1 obf/node: {report.degradation(1):.0%}")
+    print(f"relative F1 degradation at 2 obf/node: {report.degradation(2):.0%}")
+    print()
+    print("Interpretation: on the plain protocol the analyst recovers most field")
+    print("boundaries and groups messages into about one class per message type;")
+    print("on the obfuscated protocol the classification explodes into one class per")
+    print("message (random split shares and padding make same-type messages diverge)")
+    print("and the recovered boundaries are mostly wrong.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that editable installs work on environments whose packaging toolchain lacks
+PEP 517 wheel support (offline evaluation machines).
+"""
+
+from setuptools import setup
+
+setup()

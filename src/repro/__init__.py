@@ -1,0 +1,41 @@
+"""ProtoObf reproduction: specification-based protocol obfuscation.
+
+A complete Python re-implementation of the framework described in
+"Specification-based Protocol Obfuscation" (Duchêne, Alata, Nicomette,
+Kaâniche, Le Guernic — DSN 2018): message format graphs, invertible
+obfuscating transformations, on-the-fly serialization/parsing, code
+generation of standalone serialization libraries, the Modbus/HTTP evaluation
+protocols, the potency/cost metrics and a protocol reverse engineering
+substrate used for the resilience assessment.
+"""
+
+from .core import (
+    Boundary,
+    BoundaryKind,
+    FieldPath,
+    FormatGraph,
+    Message,
+    Node,
+    NodeType,
+    ReproError,
+    ValueKind,
+    build_graph,
+)
+from .wire import WireCodec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Boundary",
+    "BoundaryKind",
+    "FieldPath",
+    "FormatGraph",
+    "Message",
+    "Node",
+    "NodeType",
+    "ReproError",
+    "ValueKind",
+    "WireCodec",
+    "__version__",
+    "build_graph",
+]

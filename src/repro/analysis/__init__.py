@@ -1,0 +1,16 @@
+"""Statistics, regression and table-rendering helpers for the evaluation."""
+
+from .regression import LinearFit, linear_regression
+from .stats import Summary, mean, percentile, summarize
+from .tables import render_series, render_table
+
+__all__ = [
+    "LinearFit",
+    "Summary",
+    "linear_regression",
+    "mean",
+    "percentile",
+    "render_series",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,63 @@
+"""Least-squares linear regression (paper Figures 4 and 5).
+
+The paper fits the parsing and serialization times against the number of
+applied transformations and reports the regression line and its correlation
+coefficient.  The implementation below is a plain ordinary-least-squares fit
+with no external dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of an ordinary-least-squares fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    correlation: float
+    samples: int
+
+    def predict(self, x: float) -> float:
+        """Value of the regression line at ``x``."""
+        return self.slope * x + self.intercept
+
+    def format(self) -> str:
+        """Human-readable rendering with the correlation coefficient."""
+        return (
+            f"y = {self.slope:.5f} * x + {self.intercept:.5f}  (r = {self.correlation:.3f}, "
+            f"n = {self.samples})"
+        )
+
+
+def linear_regression(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Fit ``ys`` against ``xs`` with ordinary least squares.
+
+    Degenerate inputs (fewer than two points, or zero variance in ``xs``)
+    return a flat line with zero correlation rather than raising, which keeps
+    the benchmark harness robust to tiny workloads.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("x and y series must have the same length")
+    count = len(xs)
+    if count < 2:
+        return LinearFit(slope=0.0, intercept=ys[0] if ys else 0.0, correlation=0.0,
+                         samples=count)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    variance_x = sum((x - mean_x) ** 2 for x in xs)
+    variance_y = sum((y - mean_y) ** 2 for y in ys)
+    if variance_x == 0.0:
+        return LinearFit(slope=0.0, intercept=mean_y, correlation=0.0, samples=count)
+    slope = covariance / variance_x
+    intercept = mean_y - slope * mean_x
+    if variance_y == 0.0:
+        correlation = 0.0
+    else:
+        correlation = covariance / math.sqrt(variance_x * variance_y)
+    return LinearFit(slope=slope, intercept=intercept, correlation=correlation, samples=count)

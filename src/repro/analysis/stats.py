@@ -1,0 +1,54 @@
+"""Summary statistics used throughout the evaluation tables.
+
+The paper reports every metric as ``average [min, max]`` over repeated random
+draws; :class:`Summary` reproduces that presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Average / minimum / maximum of a series of measurements."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def format(self, digits: int = 2) -> str:
+        """Render as ``avg[min; max]``, the presentation used by the paper's tables."""
+        return (
+            f"{self.mean:.{digits}f}"
+            f"[{self.minimum:.{digits}f}; {self.maximum:.{digits}f}]"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute the average/min/max summary of a series (empty series give zeros)."""
+    series = list(values)
+    if not series:
+        return Summary(mean=0.0, minimum=0.0, maximum=0.0, count=0)
+    return Summary(
+        mean=sum(series) / len(series),
+        minimum=min(series),
+        maximum=max(series),
+        count=len(series),
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty series)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a series (0 ≤ fraction ≤ 1)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]

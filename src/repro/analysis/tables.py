@@ -1,0 +1,38 @@
+"""Plain-text table rendering for the benchmark harness output.
+
+The benchmarks print the same rows as the paper's tables; this module keeps
+the formatting logic (column alignment, headers) in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: str | None = None) -> str:
+    """Render a fixed-width text table."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            columns[index].append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render a small two-row series (used for figure-style benchmark output)."""
+    header = f"{name}:"
+    x_line = "  x: " + ", ".join(str(x) for x in xs)
+    y_line = "  y: " + ", ".join(str(y) for y in ys)
+    return "\n".join((header, x_line, y_line))

@@ -1,0 +1,17 @@
+"""Code generation of standalone serialization libraries (paper Section VI)."""
+
+from .emitter import generate_module
+from .loader import GeneratedCodec, load_source, write_module
+from .naming import accessor_suffix, parser_function, sanitize, serializer_function, struct_class
+
+__all__ = [
+    "GeneratedCodec",
+    "accessor_suffix",
+    "generate_module",
+    "load_source",
+    "parser_function",
+    "sanitize",
+    "serializer_function",
+    "struct_class",
+    "write_module",
+]

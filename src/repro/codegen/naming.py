@@ -1,0 +1,41 @@
+"""Identifier naming helpers for the code generator."""
+
+from __future__ import annotations
+
+import keyword
+import re
+
+from ..core.fieldpath import INDEX, FieldPath
+
+_IDENTIFIER_RE = re.compile(r"[^0-9A-Za-z_]")
+
+
+def sanitize(name: str) -> str:
+    """Turn an arbitrary node name into a valid Python identifier fragment."""
+    cleaned = _IDENTIFIER_RE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"n_{cleaned}"
+    if keyword.iskeyword(cleaned):
+        cleaned = f"{cleaned}_"
+    return cleaned
+
+
+def struct_class(name: str) -> str:
+    """Name of the generated AST struct class of a node."""
+    return f"S_{sanitize(name)}"
+
+
+def serializer_function(name: str) -> str:
+    """Name of the generated serializer function of a node."""
+    return f"_ser_{sanitize(name)}"
+
+
+def parser_function(name: str) -> str:
+    """Name of the generated parser function of a node."""
+    return f"_par_{sanitize(name)}"
+
+
+def accessor_suffix(path: FieldPath) -> str:
+    """Accessor name fragment derived from a logical field path."""
+    parts = [str(step) for step in path if step is not INDEX]
+    return sanitize("_".join(parts)) if parts else "root"

@@ -1,0 +1,107 @@
+"""Core data model of the ProtoObf reproduction.
+
+This package contains the message format graph (nodes, boundaries, value
+kinds), the logical message model and the graph construction/validation
+helpers.  Everything else in the library (transformations, wire runtime, code
+generator, protocols) is built on top of these types.
+"""
+
+from .boundary import Boundary, BoundaryKind
+from .builder import (
+    assign_origins,
+    build_graph,
+    bytes_field,
+    delimited_text,
+    fixed_bytes,
+    optional,
+    remaining_bytes,
+    repetition,
+    sequence,
+    tabular,
+    text_field,
+    uint,
+)
+from .errors import (
+    CodegenError,
+    GraphError,
+    MessageError,
+    NotApplicableError,
+    ParseError,
+    ReproError,
+    SerializationError,
+    SpecError,
+    TransformError,
+)
+from .fieldpath import INDEX, ROOT_PATH, FieldPath
+from .graph import FormatGraph, GraphStats, parse_window_known, static_size
+from .message import Message
+from .node import COMPOSITE_TYPES, Node, NodeType
+from .validate import validate_graph
+from .values import (
+    Endian,
+    Synthesis,
+    SynthesisOp,
+    Value,
+    ValueKind,
+    ValueOp,
+    ValueOpKind,
+    apply_chain,
+    decode_uint,
+    decode_value,
+    default_value,
+    encode_uint,
+    encode_value,
+    invert_chain,
+)
+
+__all__ = [
+    "Boundary",
+    "BoundaryKind",
+    "COMPOSITE_TYPES",
+    "CodegenError",
+    "Endian",
+    "FieldPath",
+    "FormatGraph",
+    "GraphError",
+    "GraphStats",
+    "INDEX",
+    "Message",
+    "MessageError",
+    "Node",
+    "NodeType",
+    "NotApplicableError",
+    "ParseError",
+    "ROOT_PATH",
+    "ReproError",
+    "SerializationError",
+    "SpecError",
+    "Synthesis",
+    "SynthesisOp",
+    "TransformError",
+    "Value",
+    "ValueKind",
+    "ValueOp",
+    "ValueOpKind",
+    "apply_chain",
+    "assign_origins",
+    "build_graph",
+    "bytes_field",
+    "decode_uint",
+    "decode_value",
+    "default_value",
+    "delimited_text",
+    "encode_uint",
+    "encode_value",
+    "fixed_bytes",
+    "invert_chain",
+    "optional",
+    "parse_window_known",
+    "remaining_bytes",
+    "repetition",
+    "sequence",
+    "static_size",
+    "tabular",
+    "text_field",
+    "uint",
+    "validate_graph",
+]

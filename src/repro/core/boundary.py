@@ -1,0 +1,123 @@
+"""Field boundary methods of the message format graph.
+
+The paper (Section V-A) defines six boundary methods describing how the
+length of a field is determined on the wire:
+
+* ``FIXED``     — the field has a fixed size defined in the specification,
+* ``DELIMITED`` — the field ends with a predefined byte sequence,
+* ``LENGTH``    — the length is given by the value of another (earlier) node,
+* ``COUNTER``   — for Tabular nodes, the number of repetitions is given by the
+  value of another node,
+* ``END``       — the field extends to the end of the enclosing window,
+* ``DELEGATED`` — the length is the sum of the lengths of the sub-nodes.
+
+For Repetition nodes, a ``DELIMITED`` boundary is interpreted as a terminator:
+the repetition stops when the enclosing stream starts with the delimiter,
+which is then consumed (this models, e.g., the empty CRLF line that terminates
+the HTTP header block).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import GraphError
+
+
+class BoundaryKind(str, enum.Enum):
+    """The six boundary methods of the message format graph."""
+
+    FIXED = "fixed"
+    DELIMITED = "delimited"
+    LENGTH = "length"
+    COUNTER = "counter"
+    END = "end"
+    DELEGATED = "delegated"
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """A boundary method with its parameters.
+
+    Exactly one of ``size`` (FIXED), ``delimiter`` (DELIMITED) or ``ref``
+    (LENGTH / COUNTER) is set depending on ``kind``; END and DELEGATED carry
+    no parameter.
+    """
+
+    kind: BoundaryKind
+    size: int | None = None
+    delimiter: bytes | None = None
+    ref: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is BoundaryKind.FIXED:
+            if self.size is None or self.size < 0:
+                raise GraphError("FIXED boundary requires a non-negative size")
+            if self.delimiter is not None or self.ref is not None:
+                raise GraphError("FIXED boundary only takes a size")
+        elif self.kind is BoundaryKind.DELIMITED:
+            if not self.delimiter:
+                raise GraphError("DELIMITED boundary requires a non-empty delimiter")
+            if self.size is not None or self.ref is not None:
+                raise GraphError("DELIMITED boundary only takes a delimiter")
+        elif self.kind in (BoundaryKind.LENGTH, BoundaryKind.COUNTER):
+            if not self.ref:
+                raise GraphError(f"{self.kind.name} boundary requires a node reference")
+            if self.size is not None or self.delimiter is not None:
+                raise GraphError(f"{self.kind.name} boundary only takes a node reference")
+        else:  # END / DELEGATED
+            if self.size is not None or self.delimiter is not None or self.ref is not None:
+                raise GraphError(f"{self.kind.name} boundary takes no parameter")
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def fixed(size: int) -> "Boundary":
+        """Field of a fixed ``size`` in bytes."""
+        return Boundary(BoundaryKind.FIXED, size=size)
+
+    @staticmethod
+    def delimited(delimiter: bytes) -> "Boundary":
+        """Field terminated by ``delimiter`` (which is consumed but not part of the value)."""
+        return Boundary(BoundaryKind.DELIMITED, delimiter=bytes(delimiter))
+
+    @staticmethod
+    def length(ref: str) -> "Boundary":
+        """Field whose byte length is the value of the terminal named ``ref``."""
+        return Boundary(BoundaryKind.LENGTH, ref=ref)
+
+    @staticmethod
+    def counter(ref: str) -> "Boundary":
+        """Tabular whose element count is the value of the terminal named ``ref``."""
+        return Boundary(BoundaryKind.COUNTER, ref=ref)
+
+    @staticmethod
+    def end() -> "Boundary":
+        """Field extending to the end of the enclosing window."""
+        return Boundary(BoundaryKind.END)
+
+    @staticmethod
+    def delegated() -> "Boundary":
+        """Composite whose length is the sum of its children's lengths."""
+        return Boundary(BoundaryKind.DELEGATED)
+
+    # -- helpers -------------------------------------------------------------
+
+    def with_ref(self, ref: str) -> "Boundary":
+        """Return a copy of a LENGTH/COUNTER boundary pointing at another node."""
+        if self.kind not in (BoundaryKind.LENGTH, BoundaryKind.COUNTER):
+            raise GraphError("only LENGTH/COUNTER boundaries reference a node")
+        return Boundary(self.kind, ref=ref)
+
+    def describe(self) -> str:
+        """Short human-readable rendering used in specs and diagnostics."""
+        if self.kind is BoundaryKind.FIXED:
+            return f"fixed({self.size})"
+        if self.kind is BoundaryKind.DELIMITED:
+            return f"delimited({self.delimiter!r})"
+        if self.kind is BoundaryKind.LENGTH:
+            return f"length({self.ref})"
+        if self.kind is BoundaryKind.COUNTER:
+            return f"counter({self.ref})"
+        return self.kind.value

@@ -1,0 +1,180 @@
+"""Programmatic construction of message format graphs.
+
+The factory functions below are the Python counterpart of the text
+specification DSL (:mod:`repro.spec`): they build the same :class:`Node`
+objects, assign logical origins and validate the result.  Protocol modules
+(:mod:`repro.protocols`) use this API to define the Modbus and HTTP
+specifications; the DSL parser produces graphs through the same functions so
+both front-ends stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence as SequenceType
+
+from .boundary import Boundary, BoundaryKind
+from .errors import GraphError
+from .fieldpath import INDEX, FieldPath
+from .graph import FormatGraph
+from .node import Node, NodeType
+from .validate import validate_graph
+from .values import Endian, Value, ValueKind
+
+
+# ---------------------------------------------------------------------------
+# terminal factories
+# ---------------------------------------------------------------------------
+
+
+def uint(name: str, size: int, *, endian: Endian | str = Endian.BIG, doc: str = "") -> Node:
+    """Fixed-size unsigned integer terminal."""
+    return Node(
+        name,
+        NodeType.TERMINAL,
+        Boundary.fixed(size),
+        value_kind=ValueKind.UINT,
+        endian=Endian(endian),
+        doc=doc,
+    )
+
+
+def bytes_field(name: str, boundary: Boundary, *, doc: str = "") -> Node:
+    """Raw byte-string terminal with an explicit boundary."""
+    return Node(name, NodeType.TERMINAL, boundary, value_kind=ValueKind.BYTES, doc=doc)
+
+
+def text_field(name: str, boundary: Boundary, *, doc: str = "") -> Node:
+    """Textual terminal with an explicit boundary."""
+    return Node(name, NodeType.TERMINAL, boundary, value_kind=ValueKind.TEXT, doc=doc)
+
+
+def fixed_bytes(name: str, size: int, *, doc: str = "") -> Node:
+    """Raw byte-string terminal of a fixed size."""
+    return bytes_field(name, Boundary.fixed(size), doc=doc)
+
+
+def delimited_text(name: str, delimiter: bytes, *, doc: str = "") -> Node:
+    """Textual terminal terminated by ``delimiter``."""
+    return text_field(name, Boundary.delimited(delimiter), doc=doc)
+
+
+def remaining_bytes(name: str, *, doc: str = "") -> Node:
+    """Raw byte-string terminal covering the remainder of the enclosing window."""
+    return bytes_field(name, Boundary.end(), doc=doc)
+
+
+# ---------------------------------------------------------------------------
+# composite factories
+# ---------------------------------------------------------------------------
+
+
+def sequence(
+    name: str,
+    children: SequenceType[Node],
+    *,
+    boundary: Boundary | None = None,
+    doc: str = "",
+) -> Node:
+    """Sequence node (ordered concatenation of its sub-nodes)."""
+    return Node(
+        name,
+        NodeType.SEQUENCE,
+        boundary if boundary is not None else Boundary.delegated(),
+        children=list(children),
+        doc=doc,
+    )
+
+
+def optional(
+    name: str,
+    child: Node,
+    *,
+    presence_ref: str | None = None,
+    presence_value: Value | None = None,
+    doc: str = "",
+) -> Node:
+    """Optional node, present depending on another field or on remaining bytes."""
+    return Node(
+        name,
+        NodeType.OPTIONAL,
+        Boundary.delegated(),
+        children=[child],
+        presence_ref=presence_ref,
+        presence_value=presence_value,
+        doc=doc,
+    )
+
+
+def repetition(
+    name: str,
+    child: Node,
+    *,
+    boundary: Boundary | None = None,
+    doc: str = "",
+) -> Node:
+    """Repetition node (zero or more copies of its sub-node)."""
+    return Node(
+        name,
+        NodeType.REPETITION,
+        boundary if boundary is not None else Boundary.end(),
+        children=[child],
+        doc=doc,
+    )
+
+
+def tabular(name: str, child: Node, *, counter: str, doc: str = "") -> Node:
+    """Tabular node (a repetition whose count is given by the ``counter`` terminal)."""
+    return Node(
+        name,
+        NodeType.TABULAR,
+        Boundary.counter(counter),
+        children=[child],
+        doc=doc,
+    )
+
+
+# ---------------------------------------------------------------------------
+# graph assembly
+# ---------------------------------------------------------------------------
+
+
+def assign_origins(graph: FormatGraph) -> None:
+    """Assign logical field paths (``origin``) to every node of an original graph.
+
+    The logical path of a node mirrors the specification structure: Sequence
+    members contribute their name, Repetition/Tabular nodes contribute an
+    unbound index, and the single children of Optional/Repetition/Tabular
+    nodes are transparent.  Padding terminals and derived length/counter
+    fields carry no origin because they are not part of the logical message.
+    """
+    derived = {
+        node.boundary.ref
+        for node in graph.nodes()
+        if node.boundary.kind in (BoundaryKind.LENGTH, BoundaryKind.COUNTER)
+    }
+
+    def visit(node: Node, path: FieldPath) -> None:
+        if node.is_pad or node.name in derived:
+            node.origin = None
+        else:
+            node.origin = path
+        for child in node.children:
+            if node.type is NodeType.SEQUENCE:
+                visit(child, path.child(child.name))
+            elif node.type in (NodeType.REPETITION, NodeType.TABULAR):
+                visit(child, path.child(INDEX))
+            else:  # Optional nodes are transparent
+                visit(child, path)
+
+    visit(graph.root, FieldPath())
+
+
+def build_graph(root: Node, name: str, *, validate: bool = True) -> FormatGraph:
+    """Wrap ``root`` into a validated :class:`FormatGraph` with origins assigned."""
+    if root.parent is not None:
+        raise GraphError("the root node passed to build_graph must not have a parent")
+    graph = FormatGraph(root, name=name)
+    assign_origins(graph)
+    if validate:
+        validate_graph(graph)
+    return graph

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ProtoObf reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while the
+sub-classes keep the failure domains (specification parsing, graph validation,
+wire encoding/decoding, transformation application, code generation) separate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class SpecError(ReproError):
+    """A message-format specification (DSL text) could not be parsed.
+
+    Carries the line/column of the offending token when available so that
+    specification authors get actionable diagnostics.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class GraphError(ReproError):
+    """A message format graph violates a structural or referential constraint."""
+
+
+class MessageError(ReproError):
+    """A logical message field path could not be resolved or assigned."""
+
+
+class SerializationError(ReproError):
+    """A logical message could not be serialized against a format graph."""
+
+
+class ParseError(ReproError):
+    """A byte buffer could not be parsed against a format graph."""
+
+    def __init__(self, message: str, offset: int | None = None, node: str | None = None):
+        details = []
+        if node is not None:
+            details.append(f"node={node!r}")
+        if offset is not None:
+            details.append(f"offset={offset}")
+        suffix = f" [{', '.join(details)}]" if details else ""
+        super().__init__(message + suffix)
+        self.offset = offset
+        self.node = node
+
+
+class TransformError(ReproError):
+    """A transformation failed while being applied to a format graph."""
+
+
+class NotApplicableError(TransformError):
+    """A transformation's applicability constraints are not met on the target node."""
+
+
+class CodegenError(ReproError):
+    """The code generator could not emit or load a serialization library."""

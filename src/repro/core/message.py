@@ -1,0 +1,172 @@
+"""The logical message model.
+
+A :class:`Message` is the protocol message as the *core application* sees it:
+a nested structure of dictionaries (Sequence nodes), lists (Repetition and
+Tabular nodes) and scalar values (Terminal nodes), keyed by the field names of
+the original, non-obfuscated specification.
+
+The message model is deliberately independent of any obfuscating
+transformation: the same message serializes to different byte strings under
+different obfuscated graphs, and parsing any of those byte strings yields the
+same message back.  This is the "stable accessor interface" requirement of the
+paper (Section VI).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Any, Iterator
+
+from .errors import MessageError
+from .fieldpath import INDEX, FieldPath
+
+
+class Message:
+    """A logical protocol message (nested dict/list/scalar structure)."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: dict[str, Any] | None = None):
+        self._data: dict[str, Any] = data if data is not None else {}
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Message":
+        """Build a message from a plain nested dictionary (deep-copied)."""
+        return cls(_copy.deepcopy(data))
+
+    def copy(self) -> "Message":
+        """Deep copy of the message."""
+        return Message(_copy.deepcopy(self._data))
+
+    # -- field access ---------------------------------------------------------
+
+    def get(self, path: FieldPath | str, default: Any = None) -> Any:
+        """Value stored at ``path`` or ``default`` when absent."""
+        resolved = self._concrete(path)
+        container: Any = self._data
+        for step in resolved:
+            if isinstance(step, str):
+                if not isinstance(container, dict) or step not in container:
+                    return default
+                container = container[step]
+            else:
+                if not isinstance(container, list) or not 0 <= step < len(container):
+                    return default
+                container = container[step]
+        return container
+
+    def has(self, path: FieldPath | str) -> bool:
+        """True when a value (possibly ``None``) exists at ``path``."""
+        sentinel = object()
+        return self.get(path, sentinel) is not sentinel
+
+    def set(self, path: FieldPath | str, value: Any) -> None:
+        """Store ``value`` at ``path``, creating intermediate containers as needed."""
+        resolved = self._concrete(path)
+        if not resolved:
+            raise MessageError("cannot assign the message root; use from_dict instead")
+        container: Any = self._data
+        steps = resolved.steps
+        for position, step in enumerate(steps):
+            final = position == len(steps) - 1
+            if isinstance(step, str):
+                if not isinstance(container, dict):
+                    raise MessageError(f"expected a dict at {steps[:position]!r}")
+                if final:
+                    container[step] = value
+                    return
+                container = self._descend_dict(container, step, steps[position + 1])
+            else:
+                if not isinstance(container, list):
+                    raise MessageError(f"expected a list at {steps[:position]!r}")
+                while len(container) <= step:
+                    container.append(None)
+                if final:
+                    container[step] = value
+                    return
+                container = self._descend_list(container, step, steps[position + 1])
+
+    def delete(self, path: FieldPath | str) -> None:
+        """Remove the value at ``path`` (no-op when absent)."""
+        resolved = self._concrete(path)
+        if not resolved:
+            raise MessageError("cannot delete the message root")
+        parent = self.get(resolved.parent(), None) if len(resolved) > 1 else self._data
+        last = resolved.steps[-1]
+        if isinstance(parent, dict) and isinstance(last, str):
+            parent.pop(last, None)
+        elif isinstance(parent, list) and isinstance(last, int) and 0 <= last < len(parent):
+            parent[last] = None
+
+    def list_length(self, path: FieldPath | str) -> int:
+        """Number of elements of the list stored at ``path`` (0 when absent)."""
+        value = self.get(path)
+        if value is None:
+            return 0
+        if not isinstance(value, list):
+            raise MessageError(f"field {FieldPath.of(path)} is not a list")
+        return len(value)
+
+    # -- iteration and export ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deep copy of the underlying nested dictionary."""
+        return _copy.deepcopy(self._data)
+
+    def leaves(self) -> Iterator[tuple[FieldPath, Any]]:
+        """Iterate over (path, value) pairs of every scalar leaf."""
+        yield from self._walk(FieldPath(), self._data)
+
+    def _walk(self, prefix: FieldPath, value: Any) -> Iterator[tuple[FieldPath, Any]]:
+        if isinstance(value, dict):
+            for key in value:
+                yield from self._walk(prefix.child(key), value[key])
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                yield from self._walk(prefix.child(index), item)
+        else:
+            yield prefix, value
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _concrete(path: FieldPath | str) -> FieldPath:
+        resolved = FieldPath.of(path)
+        if not resolved.is_concrete:
+            raise MessageError(f"path {resolved} still contains unbound indices")
+        return resolved
+
+    @staticmethod
+    def _descend_dict(container: dict, step: str, next_step: Any) -> Any:
+        existing = container.get(step)
+        if isinstance(existing, (dict, list)):
+            return existing
+        created: Any = [] if isinstance(next_step, int) or next_step is INDEX else {}
+        container[step] = created
+        return created
+
+    @staticmethod
+    def _descend_list(container: list, step: int, next_step: Any) -> Any:
+        existing = container[step]
+        if isinstance(existing, (dict, list)):
+            return existing
+        created: Any = [] if isinstance(next_step, int) or next_step is INDEX else {}
+        container[step] = created
+        return created
+
+    # -- dunder protocol ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Message):
+            return self._data == other._data
+        if isinstance(other, dict):
+            return self._data == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - messages are mutable
+        raise TypeError("Message objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Message({self._data!r})"

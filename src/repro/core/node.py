@@ -1,0 +1,283 @@
+"""Nodes of the message format graph.
+
+A node corresponds to one node of the paper's message format graph
+(Section V-A).  It is defined by a name, a type, a boundary method, a list of
+sub-nodes and a parent.  Terminals additionally carry a value kind and byte
+order; nodes may also carry obfuscation metadata added by the transformations
+(codec chain, synthesis rule, mirroring flag, padding flag).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterator, Optional, Sequence
+
+from .boundary import Boundary, BoundaryKind
+from .errors import GraphError
+from .fieldpath import FieldPath
+from .values import Endian, Synthesis, Value, ValueKind, ValueOp
+
+
+class NodeType(str, enum.Enum):
+    """The five node types of the message format graph."""
+
+    TERMINAL = "terminal"
+    SEQUENCE = "sequence"
+    OPTIONAL = "optional"
+    REPETITION = "repetition"
+    TABULAR = "tabular"
+
+
+#: Node types that own sub-nodes.
+COMPOSITE_TYPES = frozenset(
+    {NodeType.SEQUENCE, NodeType.OPTIONAL, NodeType.REPETITION, NodeType.TABULAR}
+)
+
+
+class Node:
+    """One node of a message format graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier of the node within its graph.  LENGTH/COUNTER
+        boundaries and presence conditions reference nodes by name.
+    type:
+        One of the five :class:`NodeType` values.
+    boundary:
+        How the byte extent of the node is determined on the wire.
+    children:
+        Sub-nodes (empty for terminals).
+    value_kind / endian:
+        Value encoding of Terminal nodes.
+    origin:
+        Logical field path this node carries (set on every node of the
+        original specification and preserved by the transformations so that
+        the accessor interface stays stable).
+    presence_ref / presence_value:
+        For Optional nodes: the node is present on the wire when the terminal
+        named ``presence_ref`` has the value ``presence_value``.  When
+        ``presence_ref`` is ``None`` the node is present whenever bytes remain
+        in the enclosing window (parse side) or whenever the logical message
+        carries data under its origin (serialize side).
+    codec_chain:
+        Invertible value operations applied to the terminal value before
+        encoding (ConstAdd/ConstSub/ConstXor transformations).
+    synthesis:
+        Value-combination rule of a Sequence created by a Split* transformation.
+    split_at:
+        Fixed cut position of a SplitCat applied to a fixed-size terminal.
+    mirrored:
+        The node's serialization is reversed byte-wise (ReadFromEnd).
+    is_pad:
+        The node is a padding terminal inserted by PadInsert: its value is
+        drawn at random during serialization and discarded during parsing.
+    """
+
+    __slots__ = (
+        "name",
+        "type",
+        "boundary",
+        "children",
+        "parent",
+        "value_kind",
+        "endian",
+        "origin",
+        "presence_ref",
+        "presence_value",
+        "codec_chain",
+        "synthesis",
+        "split_at",
+        "mirrored",
+        "is_pad",
+        "doc",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        type: NodeType,
+        boundary: Boundary,
+        *,
+        children: Sequence["Node"] | None = None,
+        value_kind: ValueKind | None = None,
+        endian: Endian = Endian.BIG,
+        origin: FieldPath | None = None,
+        presence_ref: str | None = None,
+        presence_value: Value | None = None,
+        codec_chain: tuple[ValueOp, ...] = (),
+        synthesis: Synthesis | None = None,
+        split_at: int | None = None,
+        mirrored: bool = False,
+        is_pad: bool = False,
+        doc: str = "",
+    ):
+        self.name = name
+        self.type = type
+        self.boundary = boundary
+        self.children: list[Node] = []
+        self.parent: Optional[Node] = None
+        self.value_kind = value_kind
+        self.endian = endian
+        self.origin = origin
+        self.presence_ref = presence_ref
+        self.presence_value = presence_value
+        self.codec_chain = tuple(codec_chain)
+        self.synthesis = synthesis
+        self.split_at = split_at
+        self.mirrored = mirrored
+        self.is_pad = is_pad
+        self.doc = doc
+        for child in children or ():
+            self.add_child(child)
+        self._check_shape()
+
+    # -- structural helpers --------------------------------------------------
+
+    def _check_shape(self) -> None:
+        if self.type is NodeType.TERMINAL:
+            if self.children:
+                raise GraphError(f"terminal node {self.name!r} cannot have children")
+            if self.value_kind is None:
+                raise GraphError(f"terminal node {self.name!r} requires a value kind")
+        elif self.value_kind is not None:
+            raise GraphError(f"composite node {self.name!r} cannot carry a value kind")
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.type is NodeType.TERMINAL
+
+    @property
+    def is_composite(self) -> bool:
+        return self.type in COMPOSITE_TYPES
+
+    def add_child(self, child: "Node") -> "Node":
+        """Append ``child`` as the last sub-node and set its parent."""
+        if self.type is NodeType.TERMINAL:
+            raise GraphError(f"terminal node {self.name!r} cannot have children")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert_child(self, index: int, child: "Node") -> "Node":
+        """Insert ``child`` at ``index`` among the sub-nodes."""
+        if self.type is NodeType.TERMINAL:
+            raise GraphError(f"terminal node {self.name!r} cannot have children")
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def remove_child(self, child: "Node") -> None:
+        """Detach ``child`` from this node."""
+        self.children.remove(child)
+        child.parent = None
+
+    def replace_child(self, old: "Node", new: "Node") -> "Node":
+        """Replace sub-node ``old`` by ``new`` at the same position."""
+        index = self.index_of(old)
+        new.parent = self
+        old.parent = None
+        self.children[index] = new
+        return new
+
+    def index_of(self, child: "Node") -> int:
+        """Position of ``child`` among the sub-nodes."""
+        for index, candidate in enumerate(self.children):
+            if candidate is child:
+                return index
+        raise GraphError(f"{child.name!r} is not a child of {self.name!r}")
+
+    # -- traversal -----------------------------------------------------------
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Pre-order depth-first traversal of the subtree rooted at this node."""
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def find(self, name: str) -> Optional["Node"]:
+        """Find a node by name in this subtree."""
+        for node in self.iter_subtree():
+            if node.name == name:
+                return node
+        return None
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield the chain of parents, closest first."""
+        current = self.parent
+        while current is not None:
+            yield current
+            current = current.parent
+
+    def depth(self) -> int:
+        """Number of ancestors above this node."""
+        return sum(1 for _ in self.ancestors())
+
+    def root(self) -> "Node":
+        """Topmost ancestor of this node."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    # -- copying -------------------------------------------------------------
+
+    def clone(self, *, rename: Callable[[str], str] | None = None) -> "Node":
+        """Deep-copy the subtree rooted at this node.
+
+        ``rename`` optionally maps every node name to a new one (used when a
+        transformation duplicates a subtree and must keep names unique).
+        """
+        new_name = rename(self.name) if rename else self.name
+        copy = Node(
+            new_name,
+            self.type,
+            self.boundary,
+            value_kind=self.value_kind,
+            endian=self.endian,
+            origin=self.origin,
+            presence_ref=self.presence_ref,
+            presence_value=self.presence_value,
+            codec_chain=self.codec_chain,
+            synthesis=self.synthesis,
+            split_at=self.split_at,
+            mirrored=self.mirrored,
+            is_pad=self.is_pad,
+            doc=self.doc,
+        )
+        for child in self.children:
+            copy.add_child(child.clone(rename=rename))
+        return copy
+
+    # -- references ----------------------------------------------------------
+
+    def referenced_names(self) -> list[str]:
+        """Names of the nodes this node's boundary/presence refer to."""
+        refs: list[str] = []
+        if self.boundary.kind in (BoundaryKind.LENGTH, BoundaryKind.COUNTER):
+            refs.append(self.boundary.ref)  # type: ignore[arg-type]
+        if self.presence_ref is not None:
+            refs.append(self.presence_ref)
+        return refs
+
+    # -- rendering -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line description used in diagnostics."""
+        bits = [self.type.value, self.boundary.describe()]
+        if self.value_kind is not None:
+            bits.append(self.value_kind.value)
+        if self.mirrored:
+            bits.append("mirrored")
+        if self.is_pad:
+            bits.append("pad")
+        if self.synthesis is not None:
+            bits.append(f"synthesis:{self.synthesis.op.value}")
+        if self.codec_chain:
+            bits.append(f"chain:{len(self.codec_chain)}")
+        return f"{self.name} <{' '.join(bits)}>"
+
+    def __repr__(self) -> str:
+        return f"Node({self.describe()})"

@@ -1,0 +1,22 @@
+"""Experiment harnesses regenerating the paper's tables, figures and resilience study."""
+
+from .resilience import ResilienceReport, run_resilience
+from .runner import (
+    PROTOCOLS,
+    TABLE_HEADERS,
+    ExperimentRunner,
+    LevelSummary,
+    ProtocolSetup,
+    RunResult,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "LevelSummary",
+    "PROTOCOLS",
+    "ProtocolSetup",
+    "ResilienceReport",
+    "RunResult",
+    "TABLE_HEADERS",
+    "run_resilience",
+]

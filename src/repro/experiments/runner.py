@@ -1,0 +1,245 @@
+"""The experiment harness (paper Section VII).
+
+One *experiment* follows the paper's protocol exactly:
+
+1. pick a protocol specification (HTTP or Modbus request graph),
+2. apply N obfuscation passes with randomly selected transformations,
+3. generate the serialization library source code (generation time),
+4. measure the potency metrics of the generated code, normalized by the
+   non-obfuscated generated code,
+5. execute the library on random messages produced by the core application and
+   measure parsing time, serialization time and buffer size.
+
+The benchmark files under ``benchmarks/`` drive this harness to regenerate the
+rows of Tables III/IV and the series of Figures 4–7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Sequence
+
+from ..analysis.regression import LinearFit, linear_regression
+from ..analysis.stats import Summary, summarize
+from ..codegen.emitter import generate_module
+from ..codegen.loader import GeneratedCodec
+from ..core.graph import FormatGraph
+from ..core.message import Message
+from ..metrics.cost import measure_messages, summarize as summarize_cost
+from ..metrics.potency import NormalizedPotency, PotencyMetrics, measure_source
+from ..protocols import http, modbus
+from ..transforms.engine import Obfuscator
+from ..transforms.base import Transformation
+
+
+@dataclass(frozen=True)
+class ProtocolSetup:
+    """A protocol specification plus its core-application message generator."""
+
+    key: str
+    label: str
+    graph_factory: Callable[[], FormatGraph]
+    message_generator: Callable[[Random], Message]
+
+
+PROTOCOLS: dict[str, ProtocolSetup] = {
+    "http": ProtocolSetup(
+        key="http",
+        label="HTTP",
+        graph_factory=http.request_graph,
+        message_generator=http.random_request,
+    ),
+    "modbus": ProtocolSetup(
+        key="modbus",
+        label="TCP-Modbus",
+        graph_factory=modbus.request_graph,
+        message_generator=modbus.random_request,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measurements of one experiment run (one random obfuscation draw)."""
+
+    protocol: str
+    passes: int
+    applied: int
+    potency: PotencyMetrics
+    normalized: NormalizedPotency
+    generation_ms: float
+    serialize_ms: float
+    parse_ms: float
+    buffer_size: float
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """Aggregated measurements of all runs at one obfuscation level."""
+
+    protocol: str
+    passes: int
+    applied: Summary
+    lines: Summary
+    structs: Summary
+    call_graph_size: Summary
+    call_graph_depth: Summary
+    generation_ms: Summary
+    parse_ms: Summary
+    serialize_ms: Summary
+    buffer_size: Summary
+
+    def table_row(self) -> list[str]:
+        """Row of the paper-style comparative table."""
+        return [
+            str(self.passes),
+            self.applied.format(0),
+            self.lines.format(2),
+            self.structs.format(2),
+            self.call_graph_size.format(2),
+            self.call_graph_depth.format(2),
+            self.generation_ms.format(2),
+            self.parse_ms.format(3),
+            self.serialize_ms.format(3),
+            self.buffer_size.format(0),
+        ]
+
+
+TABLE_HEADERS = [
+    "Transf/node",
+    "Applied",
+    "Lines (norm)",
+    "Structs (norm)",
+    "CG size (norm)",
+    "CG depth (norm)",
+    "Gen time (ms)",
+    "Parse (ms)",
+    "Serialize (ms)",
+    "Buffer (bytes)",
+]
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs the paper's experiment protocol for one protocol specification."""
+
+    protocol: str
+    seed: int = 0
+    runs_per_level: int = 5
+    messages_per_run: int = 20
+    transformations: list[Transformation] | None = None
+    _reference: PotencyMetrics | None = field(default=None, init=False, repr=False)
+    _reference_buffer: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        self.setup = PROTOCOLS[self.protocol]
+
+    # -- reference (non-obfuscated) measurements ------------------------------
+
+    def reference_potency(self) -> PotencyMetrics:
+        """Potency metrics of the non-obfuscated generated library."""
+        if self._reference is None:
+            source = generate_module(self.setup.graph_factory())
+            self._reference = measure_source(source)
+        return self._reference
+
+    # -- single runs -----------------------------------------------------------
+
+    def run_once(self, passes: int, run_index: int) -> RunResult:
+        """One experiment run: obfuscate, generate, measure potency and cost."""
+        run_seed = self.seed * 10_000 + passes * 100 + run_index
+        graph = self.setup.graph_factory()
+        start = time.perf_counter()
+        obfuscator = Obfuscator(self.transformations, seed=run_seed)
+        result = obfuscator.obfuscate(graph, passes)
+        source = generate_module(result.graph)
+        generation_ms = (time.perf_counter() - start) * 1000.0
+        potency = measure_source(source)
+        normalized = potency.normalized(self.reference_potency())
+        codec = GeneratedCodec(result.graph, seed=run_seed, source=source)
+        message_rng = Random(run_seed + 1)
+        workload = [
+            self.setup.message_generator(message_rng) for _ in range(self.messages_per_run)
+        ]
+        cost = summarize_cost(measure_messages(codec, workload))
+        return RunResult(
+            protocol=self.protocol,
+            passes=passes,
+            applied=result.applied_count,
+            potency=potency,
+            normalized=normalized,
+            generation_ms=generation_ms,
+            serialize_ms=cost.serialize_ms,
+            parse_ms=cost.parse_ms,
+            buffer_size=cost.buffer_size,
+        )
+
+    def run_level(self, passes: int) -> list[RunResult]:
+        """Every run of one obfuscation level."""
+        return [self.run_once(passes, index) for index in range(self.runs_per_level)]
+
+    # -- tables (paper Tables III and IV) --------------------------------------
+
+    def summarize_level(self, passes: int, runs: Sequence[RunResult]) -> LevelSummary:
+        """Aggregate the runs of one level into a table row."""
+        return LevelSummary(
+            protocol=self.protocol,
+            passes=passes,
+            applied=summarize([run.applied for run in runs]),
+            lines=summarize([run.normalized.lines for run in runs]),
+            structs=summarize([run.normalized.structs for run in runs]),
+            call_graph_size=summarize([run.normalized.call_graph_size for run in runs]),
+            call_graph_depth=summarize([run.normalized.call_graph_depth for run in runs]),
+            generation_ms=summarize([run.generation_ms for run in runs]),
+            parse_ms=summarize([run.parse_ms for run in runs]),
+            serialize_ms=summarize([run.serialize_ms for run in runs]),
+            buffer_size=summarize([run.buffer_size for run in runs]),
+        )
+
+    def run_table(self, levels: Sequence[int] = (1, 2, 3, 4)) -> dict[int, LevelSummary]:
+        """Regenerate the comparative table for the configured protocol."""
+        table: dict[int, LevelSummary] = {}
+        for passes in levels:
+            table[passes] = self.summarize_level(passes, self.run_level(passes))
+        return table
+
+    # -- figures ---------------------------------------------------------------
+
+    def time_series(self, levels: Sequence[int] = (1, 2, 3, 4)
+                    ) -> tuple[list[RunResult], LinearFit, LinearFit]:
+        """Per-run cost measurements and the regression lines of Figures 4/5.
+
+        Returns every run together with the linear fits of parsing time and
+        serialization time against the number of applied transformations.
+        """
+        runs: list[RunResult] = []
+        for passes in levels:
+            runs.extend(self.run_level(passes))
+        applied = [float(run.applied) for run in runs]
+        parse_fit = linear_regression(applied, [run.parse_ms for run in runs])
+        serialize_fit = linear_regression(applied, [run.serialize_ms for run in runs])
+        return runs, parse_fit, serialize_fit
+
+    def potency_series(self, levels: Sequence[int] = (1, 2, 3, 4)
+                       ) -> dict[int, dict[str, float]]:
+        """Average normalized potency metrics per level (Figures 6/7)."""
+        series: dict[int, dict[str, float]] = {}
+        for passes in levels:
+            runs = self.run_level(passes)
+            series[passes] = {
+                "applied": summarize([run.applied for run in runs]).mean,
+                "lines": summarize([run.normalized.lines for run in runs]).mean,
+                "structs": summarize([run.normalized.structs for run in runs]).mean,
+                "call_graph_size": summarize(
+                    [run.normalized.call_graph_size for run in runs]
+                ).mean,
+                "call_graph_depth": summarize(
+                    [run.normalized.call_graph_depth for run in runs]
+                ).mean,
+                "buffer_size": summarize([run.buffer_size for run in runs]).mean,
+            }
+        return series

@@ -1,0 +1,30 @@
+"""Potency and cost metrics of generated serialization libraries."""
+
+from .callgraph import CallGraph, call_graph_depth, call_graph_size, extract_call_graph
+from .cost import CostSample, CostSummary, measure_message, measure_messages, summarize, time_call
+from .loc import LineCounts, code_lines, count_lines
+from .potency import NormalizedPotency, PotencyMetrics, measure_graph, measure_source
+from .structs import StructCounts, count_structs, struct_count
+
+__all__ = [
+    "CallGraph",
+    "CostSample",
+    "CostSummary",
+    "LineCounts",
+    "NormalizedPotency",
+    "PotencyMetrics",
+    "StructCounts",
+    "call_graph_depth",
+    "call_graph_size",
+    "code_lines",
+    "count_lines",
+    "count_structs",
+    "extract_call_graph",
+    "measure_graph",
+    "measure_message",
+    "measure_messages",
+    "measure_source",
+    "struct_count",
+    "summarize",
+    "time_call",
+]

@@ -1,0 +1,133 @@
+"""Static call graph of generated libraries (paper "Call graph size/depth").
+
+The paper runs ``cflow`` on the generated C code and reports the size (number
+of nodes) and depth of the call graph of the parsing process.  The equivalent
+here is a static call graph extracted from the generated Python source with
+the :mod:`ast` module, restricted to functions defined in the module, and
+rooted at the public ``parse`` entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CallGraph:
+    """Static call graph of one generated module."""
+
+    edges: dict[str, frozenset[str]]
+    entry: str
+
+    def reachable(self) -> set[str]:
+        """Function names reachable from the entry point (entry included)."""
+        seen: set[str] = set()
+        stack = [self.entry]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.edges:
+                continue
+            seen.add(current)
+            stack.extend(self.edges[current])
+        return seen
+
+    @property
+    def size(self) -> int:
+        """Number of module functions reachable from the entry point."""
+        return len(self.reachable())
+
+    @property
+    def depth(self) -> int:
+        """Length of the longest acyclic call chain starting at the entry point."""
+        memo: dict[str, int] = {}
+        in_progress: set[str] = set()
+
+        def longest(name: str) -> int:
+            if name not in self.edges or name in in_progress:
+                return 0
+            if name in memo:
+                return memo[name]
+            in_progress.add(name)
+            best = 0
+            for callee in self.edges[name]:
+                best = max(best, longest(callee))
+            in_progress.discard(name)
+            memo[name] = best + 1
+            return memo[name]
+
+        return longest(self.entry)
+
+
+def restrict_call_graph(graph: CallGraph, prefixes: tuple[str, ...],
+                        keep: tuple[str, ...] = ()) -> CallGraph:
+    """Project a call graph onto the functions matching ``prefixes`` (or ``keep``).
+
+    Edges are contracted through removed functions so that a chain
+    ``a -> helper -> b`` (with ``helper`` filtered out) still yields the edge
+    ``a -> b``.  Used to measure the per-node generated functions only,
+    excluding the fixed preamble helpers.
+    """
+
+    def kept(name: str) -> bool:
+        return name in keep or any(name.startswith(prefix) for prefix in prefixes)
+
+    def targets(name: str, seen: set[str]) -> set[str]:
+        reached: set[str] = set()
+        for callee in graph.edges.get(name, frozenset()):
+            if callee in seen:
+                continue
+            if kept(callee):
+                reached.add(callee)
+            else:
+                reached.update(targets(callee, seen | {callee}))
+        return reached
+
+    edges = {
+        name: frozenset(targets(name, {name}))
+        for name in graph.edges
+        if kept(name)
+    }
+    return CallGraph(edges=edges, entry=graph.entry)
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Collect the names called inside one function body."""
+
+    def __init__(self) -> None:
+        self.calls: set[str] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:  # noqa: N802 (ast API)
+        if isinstance(node.func, ast.Name):
+            self.calls.add(node.func.id)
+        self.generic_visit(node)
+
+
+def extract_call_graph(source: str, *, entry: str = "parse") -> CallGraph:
+    """Build the static call graph of ``source`` rooted at ``entry``."""
+    tree = ast.parse(source)
+    functions: dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    functions.setdefault(f"{node.name}.{item.name}", item)
+    edges: dict[str, frozenset[str]] = {}
+    defined = set(functions)
+    for name, function in functions.items():
+        collector = _CallCollector()
+        collector.visit(function)
+        edges[name] = frozenset(call for call in collector.calls if call in defined)
+    return CallGraph(edges=edges, entry=entry)
+
+
+def call_graph_size(source: str, *, entry: str = "parse") -> int:
+    """Number of functions reachable from the parse entry point."""
+    return extract_call_graph(source, entry=entry).size
+
+
+def call_graph_depth(source: str, *, entry: str = "parse") -> int:
+    """Longest call chain starting at the parse entry point."""
+    return extract_call_graph(source, entry=entry).depth

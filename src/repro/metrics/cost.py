@@ -1,0 +1,84 @@
+"""Cost metrics (paper Tables III/IV, Figures 4/5).
+
+The cost of the obfuscation is measured in absolute values: the time to
+generate the obfuscated library (specification parsing + transformation +
+code generation), the time to serialize and parse messages with it, and the
+size of the serialized buffer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.message import Message
+
+
+@dataclass(frozen=True)
+class CostSample:
+    """Cost measurements for one message under one obfuscated library."""
+
+    serialize_ms: float
+    parse_ms: float
+    buffer_size: int
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Aggregated cost measurements over a set of messages."""
+
+    serialize_ms: float
+    parse_ms: float
+    buffer_size: float
+    samples: int
+
+
+def time_call(function: Callable[[], object]) -> float:
+    """Wall-clock duration of one call, in milliseconds."""
+    start = time.perf_counter()
+    function()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def measure_message(codec, message: Message | dict, *, repetitions: int = 3) -> CostSample:
+    """Measure serialize/parse time and buffer size for one message.
+
+    Each operation is repeated ``repetitions`` times and the minimum is kept,
+    the standard way to suppress scheduler and garbage-collector outliers when
+    timing sub-millisecond operations.
+    """
+    repetitions = max(1, repetitions)
+    serialize_times: list[float] = []
+    parse_times: list[float] = []
+    data = codec.serialize(message)
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        data = codec.serialize(message)
+        serialize_times.append((time.perf_counter() - start) * 1000.0)
+        start = time.perf_counter()
+        codec.parse(data)
+        parse_times.append((time.perf_counter() - start) * 1000.0)
+    return CostSample(
+        serialize_ms=min(serialize_times),
+        parse_ms=min(parse_times),
+        buffer_size=len(data),
+    )
+
+
+def measure_messages(codec, messages: Iterable[Message | dict],
+                     *, repetitions: int = 3) -> list[CostSample]:
+    """Measure every message of a workload."""
+    return [measure_message(codec, message, repetitions=repetitions) for message in messages]
+
+
+def summarize(samples: Sequence[CostSample]) -> CostSummary:
+    """Average the cost samples of one experiment run."""
+    if not samples:
+        return CostSummary(serialize_ms=0.0, parse_ms=0.0, buffer_size=0.0, samples=0)
+    return CostSummary(
+        serialize_ms=sum(sample.serialize_ms for sample in samples) / len(samples),
+        parse_ms=sum(sample.parse_ms for sample in samples) / len(samples),
+        buffer_size=sum(sample.buffer_size for sample in samples) / len(samples),
+        samples=len(samples),
+    )

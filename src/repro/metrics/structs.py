@@ -1,0 +1,42 @@
+"""Structure-count metric of generated libraries (paper "Nb. structs").
+
+The paper counts the internal C structures used by the generated library to
+store data during parsing.  The Python generator emits one AST class per graph
+node (prefixed ``S_``); those are the counted structures.  Helper classes of
+the fixed preamble are reported separately.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StructCounts:
+    """Breakdown of the classes defined by a generated module."""
+
+    ast_structs: int
+    helper_classes: int
+
+    @property
+    def total(self) -> int:
+        return self.ast_structs + self.helper_classes
+
+
+def count_structs(source: str) -> StructCounts:
+    """Count AST struct classes and helper classes in generated source."""
+    tree = ast.parse(source)
+    ast_structs = helper_classes = 0
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if node.name.startswith("S_"):
+                ast_structs += 1
+            else:
+                helper_classes += 1
+    return StructCounts(ast_structs=ast_structs, helper_classes=helper_classes)
+
+
+def struct_count(source: str) -> int:
+    """Number of per-node AST structures (the paper's potency measure)."""
+    return count_structs(source).ast_structs

@@ -1,0 +1,33 @@
+"""Protocol reverse engineering (PRE) substrate used for the resilience assessment."""
+
+from .alignment import (
+    Alignment,
+    alignment_offsets,
+    needleman_wunsch,
+    pairwise_similarity,
+    similarity,
+)
+from .clustering import Clustering, cluster_messages, purity
+from .evaluate import BoundaryScore, InferenceScore, score_boundaries, score_inference
+from .fields import InferredFields, infer_fields
+from .inference import FormatInferencer, InferenceResult, infer_formats
+
+__all__ = [
+    "Alignment",
+    "BoundaryScore",
+    "Clustering",
+    "FormatInferencer",
+    "InferenceResult",
+    "InferenceScore",
+    "InferredFields",
+    "alignment_offsets",
+    "cluster_messages",
+    "infer_fields",
+    "infer_formats",
+    "needleman_wunsch",
+    "pairwise_similarity",
+    "purity",
+    "score_boundaries",
+    "score_inference",
+    "similarity",
+]

@@ -1,0 +1,132 @@
+"""Needleman–Wunsch sequence alignment over byte strings.
+
+Trace-based protocol reverse engineering tools (PI project, Netzob, ...) rely
+on global sequence alignment to line up messages of the same type before
+inferring field boundaries.  This module provides the classic
+Needleman–Wunsch algorithm with affine-free (linear) gap penalties, plus the
+similarity score derived from an alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Alignment gap marker.
+GAP: Optional[int] = None
+
+MATCH_SCORE = 2
+MISMATCH_SCORE = -1
+GAP_PENALTY = -2
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """Result of aligning two byte sequences."""
+
+    first: tuple[Optional[int], ...]
+    second: tuple[Optional[int], ...]
+    score: int
+
+    def __post_init__(self) -> None:
+        if len(self.first) != len(self.second):
+            raise ValueError("aligned sequences must have the same length")
+
+    @property
+    def length(self) -> int:
+        return len(self.first)
+
+    def matches(self) -> int:
+        """Number of positions where both sequences carry the same byte."""
+        return sum(
+            1 for a, b in zip(self.first, self.second) if a is not None and a == b
+        )
+
+    def identity(self) -> float:
+        """Fraction of aligned positions that match (0 when the alignment is empty)."""
+        return self.matches() / self.length if self.length else 0.0
+
+
+def needleman_wunsch(first: bytes, second: bytes, *,
+                     match: int = MATCH_SCORE,
+                     mismatch: int = MISMATCH_SCORE,
+                     gap: int = GAP_PENALTY) -> Alignment:
+    """Globally align two byte strings with the Needleman–Wunsch algorithm."""
+    rows, cols = len(first), len(second)
+    # Dynamic-programming score matrix, stored row by row.
+    scores = [[0] * (cols + 1) for _ in range(rows + 1)]
+    for row in range(1, rows + 1):
+        scores[row][0] = row * gap
+    for col in range(1, cols + 1):
+        scores[0][col] = col * gap
+    for row in range(1, rows + 1):
+        byte_a = first[row - 1]
+        score_row = scores[row]
+        prev_row = scores[row - 1]
+        for col in range(1, cols + 1):
+            diagonal = prev_row[col - 1] + (match if byte_a == second[col - 1] else mismatch)
+            upper = prev_row[col] + gap
+            left = score_row[col - 1] + gap
+            score_row[col] = max(diagonal, upper, left)
+
+    aligned_first: list[Optional[int]] = []
+    aligned_second: list[Optional[int]] = []
+    row, col = rows, cols
+    while row > 0 or col > 0:
+        if row > 0 and col > 0:
+            step = match if first[row - 1] == second[col - 1] else mismatch
+            if scores[row][col] == scores[row - 1][col - 1] + step:
+                aligned_first.append(first[row - 1])
+                aligned_second.append(second[col - 1])
+                row -= 1
+                col -= 1
+                continue
+        if row > 0 and scores[row][col] == scores[row - 1][col] + gap:
+            aligned_first.append(first[row - 1])
+            aligned_second.append(GAP)
+            row -= 1
+            continue
+        aligned_first.append(GAP)
+        aligned_second.append(second[col - 1])
+        col -= 1
+    aligned_first.reverse()
+    aligned_second.reverse()
+    return Alignment(
+        first=tuple(aligned_first),
+        second=tuple(aligned_second),
+        score=scores[rows][cols],
+    )
+
+
+def alignment_offsets(alignment: Alignment) -> list[tuple[Optional[int], Optional[int]]]:
+    """Map aligned columns to (offset in first, offset in second) pairs."""
+    offsets: list[tuple[Optional[int], Optional[int]]] = []
+    position_first = position_second = 0
+    for byte_a, byte_b in zip(alignment.first, alignment.second):
+        offset_a = position_first if byte_a is not None else None
+        offset_b = position_second if byte_b is not None else None
+        offsets.append((offset_a, offset_b))
+        if byte_a is not None:
+            position_first += 1
+        if byte_b is not None:
+            position_second += 1
+    return offsets
+
+
+def similarity(first: bytes, second: bytes) -> float:
+    """Alignment-based similarity in [0, 1] (identity of the global alignment)."""
+    if not first and not second:
+        return 1.0
+    return needleman_wunsch(first, second).identity()
+
+
+def pairwise_similarity(messages: Sequence[bytes]) -> list[list[float]]:
+    """Symmetric similarity matrix of a list of messages."""
+    count = len(messages)
+    matrix = [[1.0] * count for _ in range(count)]
+    for row in range(count):
+        for col in range(row + 1, count):
+            value = similarity(messages[row], messages[col])
+            matrix[row][col] = value
+            matrix[col][row] = value
+    return matrix

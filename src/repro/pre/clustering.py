@@ -1,0 +1,87 @@
+"""Message classification by agglomerative clustering.
+
+Protocol reverse engineering classifies captured messages into presumed
+message types before inferring each type's format.  The classifier below is a
+UPGMA-style average-linkage agglomerative clustering over the alignment-based
+similarity matrix, stopped at a similarity threshold — the classic approach of
+trace-based tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .alignment import pairwise_similarity
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """Result of classifying a list of messages."""
+
+    clusters: tuple[tuple[int, ...], ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.clusters)
+
+    def labels(self) -> list[int]:
+        """Cluster index of every message, by message position."""
+        size = sum(len(cluster) for cluster in self.clusters)
+        labels = [0] * size
+        for index, cluster in enumerate(self.clusters):
+            for member in cluster:
+                labels[member] = index
+        return labels
+
+
+def cluster_messages(messages: Sequence[bytes], *, threshold: float = 0.8,
+                     similarity_matrix: Sequence[Sequence[float]] | None = None) -> Clustering:
+    """Cluster messages whose average-linkage similarity exceeds ``threshold``."""
+    count = len(messages)
+    if count == 0:
+        return Clustering(clusters=())
+    matrix = (
+        [list(row) for row in similarity_matrix]
+        if similarity_matrix is not None
+        else pairwise_similarity(messages)
+    )
+    clusters: list[list[int]] = [[index] for index in range(count)]
+
+    def average_linkage(first: list[int], second: list[int]) -> float:
+        total = 0.0
+        for a in first:
+            for b in second:
+                total += matrix[a][b]
+        return total / (len(first) * len(second))
+
+    while len(clusters) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_value = threshold
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                value = average_linkage(clusters[i], clusters[j])
+                if value >= best_value:
+                    best_value = value
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        clusters[i] = clusters[i] + clusters[j]
+        del clusters[j]
+    return Clustering(clusters=tuple(tuple(sorted(cluster)) for cluster in clusters))
+
+
+def purity(clustering: Clustering, true_labels: Sequence[object]) -> float:
+    """Clustering purity against ground-truth message types (1.0 is perfect)."""
+    total = sum(len(cluster) for cluster in clustering.clusters)
+    if total == 0:
+        return 0.0
+    correct = 0
+    for cluster in clustering.clusters:
+        counts: dict[object, int] = {}
+        for member in cluster:
+            label = true_labels[member]
+            counts[label] = counts.get(label, 0) + 1
+        correct += max(counts.values())
+    return correct / total

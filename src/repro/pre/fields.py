@@ -1,0 +1,107 @@
+"""Field delimitation from aligned message clusters.
+
+Given a cluster of messages presumed to be of the same type, the field
+inference aligns every message against a reference message, marks each
+reference position as *constant* (same byte across the cluster) or *variable*,
+and cuts fields where the constant/variable state changes or where a
+well-known delimiter byte occurs — the classic heuristics the paper's
+Section II-C lists as the "fields delimitation" challenge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .alignment import alignment_offsets, needleman_wunsch
+
+#: Delimiter bytes commonly used by trace-based inference tools.
+KNOWN_DELIMITERS = (0x20, 0x0D, 0x0A, 0x00, 0x3A)
+
+
+@dataclass(frozen=True)
+class InferredFields:
+    """Field segmentation inferred for one cluster of messages."""
+
+    reference_index: int
+    reference_boundaries: tuple[int, ...]
+    per_message_boundaries: dict[int, frozenset[int]]
+
+
+def _constant_positions(reference: bytes, others: Sequence[bytes]) -> list[bool]:
+    """For each reference offset, is the byte identical across all aligned messages?"""
+    constant = [True] * len(reference)
+    for other in others:
+        alignment = needleman_wunsch(reference, other)
+        matched = [False] * len(reference)
+        for (ref_offset, _), (byte_a, byte_b) in zip(
+            alignment_offsets(alignment), zip(alignment.first, alignment.second)
+        ):
+            if ref_offset is not None and byte_a is not None and byte_a == byte_b:
+                matched[ref_offset] = True
+        for offset, is_matched in enumerate(matched):
+            if not is_matched:
+                constant[offset] = False
+    return constant
+
+
+def _segment(reference: bytes, constant: Sequence[bool]) -> list[int]:
+    """Cut positions derived from constancy changes and known delimiters."""
+    boundaries: set[int] = set()
+    for offset in range(1, len(reference)):
+        if constant[offset] != constant[offset - 1]:
+            boundaries.add(offset)
+        if reference[offset - 1] in KNOWN_DELIMITERS and reference[offset] not in KNOWN_DELIMITERS:
+            boundaries.add(offset)
+        if reference[offset] in KNOWN_DELIMITERS and reference[offset - 1] not in KNOWN_DELIMITERS:
+            boundaries.add(offset)
+    return sorted(boundaries)
+
+
+def _project_boundaries(reference: bytes, target: bytes,
+                        reference_boundaries: Sequence[int]) -> frozenset[int]:
+    """Map reference boundary offsets onto a target message via alignment."""
+    alignment = needleman_wunsch(reference, target)
+    mapping: dict[int, int] = {}
+    for ref_offset, target_offset in alignment_offsets(alignment):
+        if ref_offset is not None and target_offset is not None:
+            mapping[ref_offset] = target_offset
+    projected: set[int] = set()
+    for boundary in reference_boundaries:
+        if boundary in mapping:
+            projected.add(mapping[boundary])
+    projected.discard(0)
+    projected.discard(len(target))
+    return frozenset(projected)
+
+
+def infer_fields(messages: Sequence[bytes], members: Sequence[int]) -> InferredFields:
+    """Infer the field segmentation of one cluster.
+
+    ``members`` are the indices (into ``messages``) of the cluster's members;
+    the longest member is used as the alignment reference.
+    """
+    if not members:
+        return InferredFields(reference_index=-1, reference_boundaries=(),
+                              per_message_boundaries={})
+    reference_index = max(members, key=lambda index: len(messages[index]))
+    reference = messages[reference_index]
+    others = [messages[index] for index in members if index != reference_index]
+    constant = _constant_positions(reference, others) if others else [True] * len(reference)
+    reference_boundaries = _segment(reference, constant)
+    per_message: dict[int, frozenset[int]] = {}
+    for index in members:
+        if index == reference_index:
+            per_message[index] = frozenset(
+                boundary for boundary in reference_boundaries
+                if 0 < boundary < len(reference)
+            )
+        else:
+            per_message[index] = _project_boundaries(
+                reference, messages[index], reference_boundaries
+            )
+    return InferredFields(
+        reference_index=reference_index,
+        reference_boundaries=tuple(reference_boundaries),
+        per_message_boundaries=per_message,
+    )

@@ -1,0 +1,64 @@
+"""End-to-end trace-based format inference.
+
+This is the PRE engine used by the resilience assessment: given a list of
+captured wire messages it classifies them (alignment similarity + clustering)
+and infers per-cluster field segmentations, reproducing the pipeline of
+Figure 1 of the paper (observation → preprocessing → classification → message
+format inference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .alignment import pairwise_similarity
+from .clustering import Clustering, cluster_messages
+from .fields import InferredFields, infer_fields
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Outcome of running the PRE engine on a trace."""
+
+    messages: tuple[bytes, ...]
+    clustering: Clustering
+    fields: tuple[InferredFields, ...]
+
+    def boundaries_for(self, message_index: int) -> frozenset[int]:
+        """Field boundary offsets inferred for one captured message."""
+        for inferred in self.fields:
+            if message_index in inferred.per_message_boundaries:
+                return inferred.per_message_boundaries[message_index]
+        return frozenset()
+
+    @property
+    def cluster_count(self) -> int:
+        return self.clustering.count
+
+
+class FormatInferencer:
+    """Trace-based message format inference engine."""
+
+    def __init__(self, *, similarity_threshold: float = 0.65):
+        self.similarity_threshold = similarity_threshold
+
+    def infer(self, messages: Sequence[bytes]) -> InferenceResult:
+        """Classify ``messages`` and infer each class's field segmentation."""
+        trace = tuple(bytes(message) for message in messages)
+        if not trace:
+            return InferenceResult(messages=(), clustering=Clustering(clusters=()), fields=())
+        matrix = pairwise_similarity(trace)
+        clustering = cluster_messages(
+            trace, threshold=self.similarity_threshold, similarity_matrix=matrix
+        )
+        fields = tuple(
+            infer_fields(trace, cluster) for cluster in clustering.clusters
+        )
+        return InferenceResult(messages=trace, clustering=clustering, fields=fields)
+
+
+def infer_formats(messages: Sequence[bytes], *, similarity_threshold: float = 0.65
+                  ) -> InferenceResult:
+    """Module-level convenience wrapper around :class:`FormatInferencer`."""
+    return FormatInferencer(similarity_threshold=similarity_threshold).infer(messages)

@@ -1,0 +1,13 @@
+"""Protocol specifications and core applications used in the evaluation.
+
+The paper evaluates the framework on two protocols: a binary protocol
+(TCP-Modbus) and a text protocol (HTTP/1.1).  Each protocol subpackage
+provides the message format graphs (the specification ``S`` of the paper) and
+a *core application* that builds random, well-formed logical messages — the
+role played by the simply-modbus-driven client and the simplified HTTP
+application in the paper's experiments.
+"""
+
+from . import http, modbus
+
+__all__ = ["http", "modbus"]

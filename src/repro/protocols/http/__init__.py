@@ -1,0 +1,33 @@
+"""Simplified HTTP/1.1 specification and core application (paper Section VII)."""
+
+from .app import (
+    HEADER_NAMES,
+    HEADER_VALUES,
+    METHODS,
+    METHODS_WITH_BODY,
+    STATUS,
+    build_request,
+    build_response,
+    random_conversation,
+    random_request,
+    random_response,
+)
+from .spec import CRLF, HEADER_SEPARATOR, SP, request_graph, response_graph
+
+__all__ = [
+    "CRLF",
+    "HEADER_NAMES",
+    "HEADER_SEPARATOR",
+    "HEADER_VALUES",
+    "METHODS",
+    "METHODS_WITH_BODY",
+    "SP",
+    "STATUS",
+    "build_request",
+    "build_response",
+    "random_conversation",
+    "random_request",
+    "random_response",
+    "request_graph",
+    "response_graph",
+]

@@ -1,0 +1,128 @@
+"""HTTP core application.
+
+Builds random, well-formed logical HTTP request and response messages used as
+the workload of the HTTP experiments.  Values are drawn from pools of common
+methods, paths, header names and status codes; header values avoid the
+delimiter sequences so that every generated message is serializable.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...core.message import Message
+
+METHODS = ("GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS")
+METHODS_WITH_BODY = ("POST", "PUT")
+VERSIONS = ("HTTP/1.0", "HTTP/1.1")
+STATUS = (
+    ("200", "OK"),
+    ("201", "Created"),
+    ("204", "No Content"),
+    ("301", "Moved Permanently"),
+    ("304", "Not Modified"),
+    ("400", "Bad Request"),
+    ("403", "Forbidden"),
+    ("404", "Not Found"),
+    ("500", "Internal Server Error"),
+)
+PATH_SEGMENTS = ("api", "v1", "v2", "users", "items", "orders", "status", "index",
+                 "search", "metrics", "login", "assets", "docs")
+HEADER_NAMES = ("Host", "User-Agent", "Accept", "Accept-Language", "Content-Type",
+                "Cache-Control", "Connection", "X-Request-Id", "Authorization",
+                "Accept-Encoding")
+HEADER_VALUES = ("example.com", "repro-client/1.0", "text/html", "application/json",
+                 "en-US", "no-cache", "keep-alive", "close", "gzip, deflate",
+                 "token-1234567890", "max-age=3600", "bytes")
+_BODY_WORDS = ("alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+               "hotel", "india", "juliet")
+
+
+def build_request(method: str, uri: str, *, version: str = "HTTP/1.1",
+                  headers: list[tuple[str, str]] | None = None,
+                  body: bytes | None = None) -> Message:
+    """Build a logical HTTP request message."""
+    message = Message()
+    message.set("method", method)
+    message.set("uri", uri)
+    message.set("request_version", version)
+    message.set("request_headers", [])
+    for index, (name, value) in enumerate(headers or []):
+        message.set(f"request_headers[{index}].request_header_name", name)
+        message.set(f"request_headers[{index}].request_header_value", value)
+    if body is not None:
+        message.set("request_body", bytes(body))
+    return message
+
+
+def build_response(status_code: str, reason: str, *, version: str = "HTTP/1.1",
+                   headers: list[tuple[str, str]] | None = None,
+                   body: bytes | None = None) -> Message:
+    """Build a logical HTTP response message."""
+    message = Message()
+    message.set("response_version", version)
+    message.set("status_code", status_code)
+    message.set("reason", reason)
+    message.set("response_headers", [])
+    for index, (name, value) in enumerate(headers or []):
+        message.set(f"response_headers[{index}].response_header_name", name)
+        message.set(f"response_headers[{index}].response_header_value", value)
+    if body is not None:
+        message.set("response_body", bytes(body))
+    return message
+
+
+def _random_uri(rng: Random) -> str:
+    depth = rng.randrange(1, 4)
+    segments = [rng.choice(PATH_SEGMENTS) for _ in range(depth)]
+    uri = "/" + "/".join(segments)
+    if rng.random() < 0.3:
+        uri += f"?id={rng.randrange(10000)}"
+    return uri
+
+
+def _random_headers(rng: Random) -> list[tuple[str, str]]:
+    count = rng.randrange(1, 6)
+    names = rng.sample(HEADER_NAMES, count)
+    return [(name, rng.choice(HEADER_VALUES)) for name in names]
+
+
+def _random_body(rng: Random) -> bytes:
+    words = [rng.choice(_BODY_WORDS) for _ in range(rng.randrange(1, 12))]
+    return (" ".join(words)).encode("ascii")
+
+
+def random_request(rng: Random, *, method: str | None = None) -> Message:
+    """Draw a random, well-formed HTTP request."""
+    method = method if method is not None else rng.choice(METHODS)
+    body = _random_body(rng) if method in METHODS_WITH_BODY else None
+    return build_request(
+        method,
+        _random_uri(rng),
+        version=rng.choice(VERSIONS),
+        headers=_random_headers(rng),
+        body=body,
+    )
+
+
+def random_response(rng: Random, *, with_body: bool | None = None) -> Message:
+    """Draw a random, well-formed HTTP response."""
+    status_code, reason = rng.choice(STATUS)
+    if with_body is None:
+        with_body = status_code not in ("204", "304") and rng.random() < 0.7
+    return build_response(
+        status_code,
+        reason,
+        version=rng.choice(VERSIONS),
+        headers=_random_headers(rng),
+        body=_random_body(rng) if with_body else None,
+    )
+
+
+def random_conversation(rng: Random, exchanges: int) -> list[tuple[str, Message]]:
+    """Draw an alternating request/response HTTP conversation."""
+    conversation: list[tuple[str, Message]] = []
+    for _ in range(exchanges):
+        conversation.append(("request", random_request(rng)))
+        conversation.append(("response", random_response(rng)))
+    return conversation

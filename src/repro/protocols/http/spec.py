@@ -1,0 +1,87 @@
+"""Simplified HTTP/1.1 message format specifications.
+
+The HTTP graphs exercise the features the paper highlights for the text
+protocol: Delimited boundaries (space and CRLF separated tokens), a Repetition
+(the header block, terminated by an empty line) and an Optional field (the
+message body, present when bytes remain after the header block).
+
+As in the paper, the specification describes the *syntax* of messages; the
+core application does not enforce semantic consistency of keyword values
+(paper Section VII: "this implementation doesn't create messages with
+consistent values for the keywords").
+"""
+
+from __future__ import annotations
+
+from ...core.boundary import Boundary
+from ...core.builder import (
+    build_graph,
+    delimited_text,
+    optional,
+    remaining_bytes,
+    repetition,
+    sequence,
+)
+from ...core.graph import FormatGraph
+
+SP = b" "
+CRLF = b"\r\n"
+HEADER_SEPARATOR = b": "
+
+
+def _header_block(kind: str) -> object:
+    header = sequence(
+        f"{kind}_header",
+        [
+            delimited_text(f"{kind}_header_name", HEADER_SEPARATOR,
+                           doc="header field name"),
+            delimited_text(f"{kind}_header_value", CRLF, doc="header field value"),
+        ],
+        doc="one header line",
+    )
+    return repetition(
+        f"{kind}_headers",
+        header,
+        boundary=Boundary.delimited(CRLF),
+        doc="header block, terminated by an empty line",
+    )
+
+
+def _body(kind: str) -> object:
+    return optional(
+        f"{kind}_body",
+        remaining_bytes(f"{kind}_content", doc="message body"),
+        doc="optional message body (present when bytes remain)",
+    )
+
+
+def request_graph() -> FormatGraph:
+    """Message format graph of simplified HTTP/1.1 requests."""
+    root = sequence(
+        "http_request",
+        [
+            delimited_text("method", SP, doc="request method (GET, POST, ...)"),
+            delimited_text("uri", SP, doc="request target"),
+            delimited_text("request_version", CRLF, doc="protocol version"),
+            _header_block("request"),
+            _body("request"),
+        ],
+        doc="HTTP/1.1 request",
+    )
+    return build_graph(root, name="http_request")
+
+
+def response_graph() -> FormatGraph:
+    """Message format graph of simplified HTTP/1.1 responses."""
+    root = sequence(
+        "http_response",
+        [
+            delimited_text("response_version", SP, doc="protocol version"),
+            delimited_text("status_code", SP, doc="status code"),
+            delimited_text("reason", CRLF, doc="reason phrase"),
+            _header_block("response"),
+            _body("response"),
+        ],
+        doc="HTTP/1.1 response",
+    )
+    return build_graph(root, name="http_response")

@@ -1,0 +1,37 @@
+"""TCP-Modbus specification and core application (paper Section VII)."""
+
+from .app import (
+    build_request,
+    build_response,
+    matching_response,
+    random_conversation,
+    random_request,
+    random_response,
+    realistic_request,
+    realistic_response,
+)
+from .spec import (
+    FUNCTION_CODES,
+    READ_FUNCTION_CODES,
+    WRITE_SINGLE_FUNCTION_CODES,
+    block_name,
+    request_graph,
+    response_graph,
+)
+
+__all__ = [
+    "FUNCTION_CODES",
+    "READ_FUNCTION_CODES",
+    "WRITE_SINGLE_FUNCTION_CODES",
+    "block_name",
+    "build_request",
+    "build_response",
+    "matching_response",
+    "random_conversation",
+    "random_request",
+    "random_response",
+    "realistic_request",
+    "realistic_response",
+    "request_graph",
+    "response_graph",
+]

@@ -1,0 +1,266 @@
+"""Modbus core application.
+
+This module plays the role of the paper's Modbus core application: it builds
+well-formed logical request and response messages for function codes 1, 2, 3,
+4, 5, 6, 15 and 16 (the message set required by the simply-modbus client the
+paper mentions), with values drawn from an explicit random generator so that
+experiments are reproducible.
+
+The builders return :class:`~repro.core.message.Message` objects keyed by the
+field names of the non-obfuscated specification; they are completely
+independent of the transformations applied to the graphs.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...core.message import Message
+from .spec import (
+    FUNCTION_CODES,
+    READ_FUNCTION_CODES,
+    WRITE_SINGLE_FUNCTION_CODES,
+    block_name,
+)
+
+_COIL_ON = 0xFF00
+_COIL_OFF = 0x0000
+
+
+# ---------------------------------------------------------------------------
+# request builders
+# ---------------------------------------------------------------------------
+
+
+def build_request(function_code: int, *, transaction_id: int = 0, unit_id: int = 1,
+                  **fields: object) -> Message:
+    """Build a request message for ``function_code``.
+
+    ``fields`` are the PDU parameters of the function code block (for example
+    ``start_address=0, quantity=8`` for a read request, or ``registers=[1, 2]``
+    for a write-multiple-registers request).
+    """
+    if function_code not in FUNCTION_CODES:
+        raise ValueError(f"unsupported function code {function_code}")
+    name = block_name(function_code)
+    message = Message()
+    message.set("request_transaction_id", transaction_id)
+    message.set("request_protocol_id", 0)
+    message.set("request_payload.request_unit_id", unit_id)
+    message.set("request_payload.function_code", function_code)
+    prefix = f"request_payload.{name}_request_block"
+    if function_code in READ_FUNCTION_CODES:
+        message.set(f"{prefix}.{name}_start_address", int(fields["start_address"]))
+        message.set(f"{prefix}.{name}_quantity", int(fields["quantity"]))
+    elif function_code in WRITE_SINGLE_FUNCTION_CODES:
+        message.set(f"{prefix}.{name}_address", int(fields["address"]))
+        message.set(f"{prefix}.{name}_value", int(fields["value"]))
+    elif function_code == 15:
+        data = [int(byte) for byte in fields["data"]]  # type: ignore[union-attr]
+        message.set(f"{prefix}.{name}_start_address", int(fields["start_address"]))
+        message.set(f"{prefix}.{name}_quantity", int(fields["quantity"]))
+        message.set(f"{prefix}.{name}_data", data)
+    else:  # 16
+        registers = [int(register) for register in fields["registers"]]  # type: ignore[union-attr]
+        message.set(f"{prefix}.{name}_start_address", int(fields["start_address"]))
+        encoded = [
+            {f"{name}_register_hi": register >> 8, f"{name}_register_lo": register & 0xFF}
+            for register in registers
+        ]
+        message.set(f"{prefix}.{name}_data_block.{name}_registers", encoded)
+    return message
+
+
+def build_response(function_code: int, *, transaction_id: int = 0, unit_id: int = 1,
+                   **fields: object) -> Message:
+    """Build a response message for ``function_code``."""
+    if function_code not in FUNCTION_CODES:
+        raise ValueError(f"unsupported function code {function_code}")
+    name = block_name(function_code)
+    message = Message()
+    message.set("response_transaction_id", transaction_id)
+    message.set("response_protocol_id", 0)
+    message.set("response_payload.response_unit_id", unit_id)
+    message.set("response_payload.function_code", function_code)
+    prefix = f"response_payload.{name}_response_block"
+    if function_code in (1, 2):
+        status = [int(byte) for byte in fields["status"]]  # type: ignore[union-attr]
+        message.set(f"{prefix}.{name}_status", status)
+    elif function_code in (3, 4):
+        registers = [int(register) for register in fields["registers"]]  # type: ignore[union-attr]
+        message.set(f"{prefix}.{name}_registers", registers)
+    elif function_code in WRITE_SINGLE_FUNCTION_CODES:
+        message.set(f"{prefix}.{name}_address", int(fields["address"]))
+        message.set(f"{prefix}.{name}_value", int(fields["value"]))
+    else:  # 15 / 16
+        message.set(f"{prefix}.{name}_start_address", int(fields["start_address"]))
+        message.set(f"{prefix}.{name}_quantity", int(fields["quantity"]))
+    return message
+
+
+# ---------------------------------------------------------------------------
+# random workload generation
+# ---------------------------------------------------------------------------
+
+
+def random_request(rng: Random, *, function_code: int | None = None,
+                   transaction_id: int | None = None) -> Message:
+    """Draw a random, well-formed request message."""
+    function_code = function_code if function_code is not None else rng.choice(FUNCTION_CODES)
+    transaction_id = (
+        transaction_id if transaction_id is not None else rng.randrange(0, 0x10000)
+    )
+    unit_id = rng.randrange(1, 248)
+    if function_code in READ_FUNCTION_CODES:
+        return build_request(
+            function_code,
+            transaction_id=transaction_id,
+            unit_id=unit_id,
+            start_address=rng.randrange(0, 0xFFFF),
+            quantity=rng.randrange(1, 126),
+        )
+    if function_code in WRITE_SINGLE_FUNCTION_CODES:
+        value = rng.choice((_COIL_ON, _COIL_OFF)) if function_code == 5 else rng.randrange(0x10000)
+        return build_request(
+            function_code,
+            transaction_id=transaction_id,
+            unit_id=unit_id,
+            address=rng.randrange(0, 0xFFFF),
+            value=value,
+        )
+    if function_code == 15:
+        coil_count = rng.randrange(1, 64)
+        byte_count = (coil_count + 7) // 8
+        return build_request(
+            15,
+            transaction_id=transaction_id,
+            unit_id=unit_id,
+            start_address=rng.randrange(0, 0xFFFF),
+            quantity=coil_count,
+            data=[rng.randrange(256) for _ in range(byte_count)],
+        )
+    register_count = rng.randrange(1, 32)
+    return build_request(
+        16,
+        transaction_id=transaction_id,
+        unit_id=unit_id,
+        start_address=rng.randrange(0, 0xFFFF),
+        registers=[rng.randrange(0x10000) for _ in range(register_count)],
+    )
+
+
+def random_response(rng: Random, *, function_code: int | None = None,
+                    transaction_id: int | None = None) -> Message:
+    """Draw a random, well-formed response message."""
+    function_code = function_code if function_code is not None else rng.choice(FUNCTION_CODES)
+    transaction_id = (
+        transaction_id if transaction_id is not None else rng.randrange(0, 0x10000)
+    )
+    unit_id = rng.randrange(1, 248)
+    if function_code in (1, 2):
+        return build_response(
+            function_code,
+            transaction_id=transaction_id,
+            unit_id=unit_id,
+            status=[rng.randrange(256) for _ in range(rng.randrange(1, 9))],
+        )
+    if function_code in (3, 4):
+        return build_response(
+            function_code,
+            transaction_id=transaction_id,
+            unit_id=unit_id,
+            registers=[rng.randrange(0x10000) for _ in range(rng.randrange(1, 32))],
+        )
+    if function_code in WRITE_SINGLE_FUNCTION_CODES:
+        value = rng.choice((_COIL_ON, _COIL_OFF)) if function_code == 5 else rng.randrange(0x10000)
+        return build_response(
+            function_code,
+            transaction_id=transaction_id,
+            unit_id=unit_id,
+            address=rng.randrange(0, 0xFFFF),
+            value=value,
+        )
+    return build_response(
+        function_code,
+        transaction_id=transaction_id,
+        unit_id=unit_id,
+        start_address=rng.randrange(0, 0xFFFF),
+        quantity=rng.randrange(1, 64),
+    )
+
+
+def realistic_request(rng: Random, function_code: int, transaction_id: int,
+                      *, unit_id: int = 1) -> Message:
+    """Build a request with value ranges typical of real Modbus deployments.
+
+    Unlike :func:`random_request` (which draws uniformly over the full field
+    ranges, as in the paper's cost experiments), this generator uses small
+    addresses/quantities and sequential transaction identifiers, which is what
+    captured Modbus traffic looks like.  The resilience experiment uses it so
+    that the trace given to the PRE analyst is realistic.
+    """
+    if function_code in READ_FUNCTION_CODES:
+        return build_request(
+            function_code, transaction_id=transaction_id, unit_id=unit_id,
+            start_address=rng.randrange(0, 64), quantity=rng.randrange(1, 12),
+        )
+    if function_code in WRITE_SINGLE_FUNCTION_CODES:
+        value = rng.choice((_COIL_ON, _COIL_OFF)) if function_code == 5 else rng.randrange(0, 200)
+        return build_request(
+            function_code, transaction_id=transaction_id, unit_id=unit_id,
+            address=rng.randrange(0, 64), value=value,
+        )
+    if function_code == 15:
+        coil_count = rng.randrange(1, 17)
+        return build_request(
+            15, transaction_id=transaction_id, unit_id=unit_id,
+            start_address=rng.randrange(0, 64), quantity=coil_count,
+            data=[rng.randrange(256) for _ in range((coil_count + 7) // 8)],
+        )
+    return build_request(
+        16, transaction_id=transaction_id, unit_id=unit_id,
+        start_address=rng.randrange(0, 64),
+        registers=[rng.randrange(0, 200) for _ in range(rng.randrange(1, 6))],
+    )
+
+
+def realistic_response(rng: Random, function_code: int, transaction_id: int,
+                       *, unit_id: int = 1) -> Message:
+    """Build a response with value ranges typical of real Modbus deployments."""
+    if function_code in (1, 2):
+        return build_response(
+            function_code, transaction_id=transaction_id, unit_id=unit_id,
+            status=[rng.randrange(256) for _ in range(rng.randrange(1, 3))],
+        )
+    if function_code in (3, 4):
+        return build_response(
+            function_code, transaction_id=transaction_id, unit_id=unit_id,
+            registers=[rng.randrange(0, 200) for _ in range(rng.randrange(1, 6))],
+        )
+    if function_code in WRITE_SINGLE_FUNCTION_CODES:
+        value = rng.choice((_COIL_ON, _COIL_OFF)) if function_code == 5 else rng.randrange(0, 200)
+        return build_response(
+            function_code, transaction_id=transaction_id, unit_id=unit_id,
+            address=rng.randrange(0, 64), value=value,
+        )
+    return build_response(
+        function_code, transaction_id=transaction_id, unit_id=unit_id,
+        start_address=rng.randrange(0, 64), quantity=rng.randrange(1, 12),
+    )
+
+
+def matching_response(request: Message, rng: Random) -> Message:
+    """Draw a response consistent with ``request`` (same function code and transaction)."""
+    function_code = request.get("request_payload.function_code")
+    transaction_id = request.get("request_transaction_id")
+    return random_response(rng, function_code=function_code, transaction_id=transaction_id)
+
+
+def random_conversation(rng: Random, exchanges: int) -> list[tuple[str, Message]]:
+    """Draw an alternating request/response conversation of ``exchanges`` exchanges."""
+    conversation: list[tuple[str, Message]] = []
+    for _ in range(exchanges):
+        request = random_request(rng)
+        conversation.append(("request", request))
+        conversation.append(("response", matching_response(request, rng)))
+    return conversation

@@ -1,0 +1,202 @@
+"""TCP-Modbus message format specifications.
+
+The request and response graphs cover the message families exercised by the
+paper's core application: function codes 1, 2, 3, 4, 5, 6, 15 and 16 and their
+responses (the full set of distinct Modbus message formats).
+
+Modelling notes
+---------------
+* The MBAP ``length`` field is a derived LENGTH field covering the unit
+  identifier and the PDU, exactly as in the Modbus/TCP specification.
+* ``byte_count`` fields are derived (LENGTH or COUNTER) fields: the logical
+  message only carries the lists of coils/registers, and the serialization
+  library computes the counts — which is also what makes the Counter and
+  Length boundaries available for the BoundaryChange/TabSplit transformations.
+* Each function code gets its own Optional block keyed on the
+  ``function_code`` terminal, which is how the single request (resp. response)
+  graph describes every message format of the protocol.
+"""
+
+from __future__ import annotations
+
+from ...core.boundary import Boundary
+from ...core.builder import build_graph, optional, repetition, sequence, tabular, uint
+from ...core.graph import FormatGraph
+
+#: Function codes exercised by the evaluation (paper Section VII).
+FUNCTION_CODES = (1, 2, 3, 4, 5, 6, 15, 16)
+
+#: Function codes of the "read" family (identical request layout).
+READ_FUNCTION_CODES = (1, 2, 3, 4)
+
+#: Function codes of the "write single" family.
+WRITE_SINGLE_FUNCTION_CODES = (5, 6)
+
+_BLOCK_NAMES = {
+    1: "read_coils",
+    2: "read_discrete_inputs",
+    3: "read_holding_registers",
+    4: "read_input_registers",
+    5: "write_single_coil",
+    6: "write_single_register",
+    15: "write_multiple_coils",
+    16: "write_multiple_registers",
+}
+
+
+def block_name(function_code: int) -> str:
+    """Symbolic name of the request/response block of a function code."""
+    return _BLOCK_NAMES[function_code]
+
+
+def _mbap_and_pdu(kind: str, pdu_blocks: list) -> FormatGraph:
+    """Assemble the MBAP header and the PDU blocks into a full ADU graph."""
+    payload = sequence(
+        f"{kind}_payload",
+        [
+            uint(f"{kind}_unit_id", 1, doc="MBAP unit identifier"),
+            uint("function_code", 1, doc="Modbus function code"),
+            *pdu_blocks,
+        ],
+        boundary=Boundary.length(f"{kind}_length"),
+        doc="Unit identifier and PDU, covered by the MBAP length field",
+    )
+    root = sequence(
+        f"modbus_{kind}",
+        [
+            uint(f"{kind}_transaction_id", 2, doc="MBAP transaction identifier"),
+            uint(f"{kind}_protocol_id", 2, doc="MBAP protocol identifier (0 for Modbus)"),
+            uint(f"{kind}_length", 2, doc="MBAP length: number of following bytes"),
+            payload,
+        ],
+        doc=f"TCP-Modbus {kind} ADU",
+    )
+    return build_graph(root, name=f"modbus_{kind}")
+
+
+def _request_block(function_code: int) -> object:
+    name = block_name(function_code)
+    if function_code in READ_FUNCTION_CODES:
+        body = sequence(
+            f"{name}_request",
+            [
+                uint(f"{name}_start_address", 2, doc="first coil/register address"),
+                uint(f"{name}_quantity", 2, doc="number of coils/registers to read"),
+            ],
+        )
+    elif function_code in WRITE_SINGLE_FUNCTION_CODES:
+        body = sequence(
+            f"{name}_request",
+            [
+                uint(f"{name}_address", 2, doc="coil/register address"),
+                uint(f"{name}_value", 2, doc="value to write"),
+            ],
+        )
+    elif function_code == 15:
+        body = sequence(
+            f"{name}_request",
+            [
+                uint(f"{name}_start_address", 2, doc="first coil address"),
+                uint(f"{name}_quantity", 2, doc="number of coils to write"),
+                uint(f"{name}_byte_count", 1,
+                     doc="derived: number of coil data bytes"),
+                tabular(
+                    f"{name}_data",
+                    uint(f"{name}_data_byte", 1, doc="packed coil values"),
+                    counter=f"{name}_byte_count",
+                ),
+            ],
+        )
+    else:  # function_code == 16
+        registers = tabular(
+            f"{name}_registers",
+            sequence(
+                f"{name}_register",
+                [
+                    uint(f"{name}_register_hi", 1, doc="register value, high byte"),
+                    uint(f"{name}_register_lo", 1, doc="register value, low byte"),
+                ],
+                doc="one 16-bit register encoded as two bytes",
+            ),
+            counter=f"{name}_quantity",
+        )
+        body = sequence(
+            f"{name}_request",
+            [
+                uint(f"{name}_start_address", 2, doc="first register address"),
+                uint(f"{name}_quantity", 2,
+                     doc="derived: number of registers to write"),
+                uint(f"{name}_byte_count", 1,
+                     doc="derived: number of register data bytes"),
+                sequence(
+                    f"{name}_data_block",
+                    [registers],
+                    boundary=Boundary.length(f"{name}_byte_count"),
+                    doc="register data, covered by the byte count field",
+                ),
+            ],
+        )
+    return optional(
+        f"{name}_request_block",
+        body,
+        presence_ref="function_code",
+        presence_value=function_code,
+        doc=f"PDU of function code {function_code} requests",
+    )
+
+
+def _response_block(function_code: int) -> object:
+    name = block_name(function_code)
+    if function_code in READ_FUNCTION_CODES:
+        if function_code in (1, 2):
+            payload = tabular(
+                f"{name}_status",
+                uint(f"{name}_status_byte", 1, doc="packed coil/input status bits"),
+                counter=f"{name}_byte_count",
+            )
+        else:
+            payload = repetition(
+                f"{name}_registers",
+                uint(f"{name}_register_value", 2, doc="register value"),
+                boundary=Boundary.length(f"{name}_byte_count"),
+            )
+        body = sequence(
+            f"{name}_response",
+            [
+                uint(f"{name}_byte_count", 1, doc="derived: number of data bytes"),
+                payload,
+            ],
+        )
+    elif function_code in WRITE_SINGLE_FUNCTION_CODES:
+        body = sequence(
+            f"{name}_response",
+            [
+                uint(f"{name}_address", 2, doc="echoed coil/register address"),
+                uint(f"{name}_value", 2, doc="echoed value"),
+            ],
+        )
+    else:  # 15 / 16
+        body = sequence(
+            f"{name}_response",
+            [
+                uint(f"{name}_start_address", 2, doc="echoed start address"),
+                uint(f"{name}_quantity", 2, doc="echoed quantity"),
+            ],
+        )
+    return optional(
+        f"{name}_response_block",
+        body,
+        presence_ref="function_code",
+        presence_value=function_code,
+        doc=f"PDU of function code {function_code} responses",
+    )
+
+
+def request_graph() -> FormatGraph:
+    """Message format graph of every Modbus request exercised by the evaluation."""
+    return _mbap_and_pdu("request", [_request_block(fc) for fc in FUNCTION_CODES])
+
+
+def response_graph() -> FormatGraph:
+    """Message format graph of every Modbus response exercised by the evaluation."""
+    return _mbap_and_pdu("response", [_response_block(fc) for fc in FUNCTION_CODES])

@@ -1,0 +1,7 @@
+"""Message format specification DSL: lexer, parser and writer."""
+
+from .lexer import Lexer, Token, tokenize
+from .parser import SpecParser, parse_spec
+from .writer import write_spec
+
+__all__ = ["Lexer", "SpecParser", "Token", "parse_spec", "tokenize", "write_spec"]

@@ -1,0 +1,179 @@
+"""Tokenizer of the message format specification DSL.
+
+The DSL plays the role of the Lex/Yacc-parsed specification of the paper's
+implementation.  The lexer produces a flat token stream with line/column
+information used for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import SpecError
+
+KEYWORDS = frozenset(
+    {
+        "protocol",
+        "message",
+        "sequence",
+        "optional",
+        "repetition",
+        "tabular",
+        "uint",
+        "bytes",
+        "text",
+        "delimited",
+        "length",
+        "count",
+        "end",
+        "little",
+        "big",
+        "present_if",
+        "pad",
+    }
+)
+
+_SYMBOLS = {
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ":": "COLON",
+    ";": "SEMI",
+    ",": "COMMA",
+}
+
+_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", "0": "\0", "\\": "\\", '"': '"'}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.value!r})"
+
+
+class Lexer:
+    """Turns DSL text into a token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # -- iteration -------------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input (appends a final EOF token)."""
+        result = list(self._iter_tokens())
+        result.append(Token("EOF", None, self.line, self.column))
+        return result
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char in " \t":
+                self._advance(1)
+            elif char == "\n":
+                self._advance(1, newline=True)
+            elif char == "#":
+                self._skip_comment()
+            elif char == '"':
+                yield self._string()
+            elif char.isdigit():
+                yield self._number()
+            elif char.isalpha() or char == "_":
+                yield self._word()
+            elif char == "=" and self.text[self.position : self.position + 2] == "==":
+                token = Token("EQ", "==", self.line, self.column)
+                self._advance(2)
+                yield token
+            elif char in _SYMBOLS:
+                token = Token(_SYMBOLS[char], char, self.line, self.column)
+                self._advance(1)
+                yield token
+            else:
+                raise SpecError(f"unexpected character {char!r}", self.line, self.column)
+
+    # -- token scanners ----------------------------------------------------------
+
+    def _skip_comment(self) -> None:
+        while self.position < len(self.text) and self.text[self.position] != "\n":
+            self._advance(1)
+
+    def _string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance(1)  # opening quote
+        value: list[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise SpecError("unterminated string literal", line, column)
+            char = self.text[self.position]
+            if char == '"':
+                self._advance(1)
+                break
+            if char == "\\":
+                self._advance(1)
+                escape = self.text[self.position : self.position + 1]
+                if escape == "x":
+                    code = self.text[self.position + 1 : self.position + 3]
+                    try:
+                        value.append(chr(int(code, 16)))
+                    except ValueError as exc:
+                        raise SpecError(f"invalid escape \\x{code}", self.line, self.column) from exc
+                    self._advance(3)
+                elif escape in _ESCAPES:
+                    value.append(_ESCAPES[escape])
+                    self._advance(1)
+                else:
+                    raise SpecError(f"unknown escape \\{escape}", self.line, self.column)
+            else:
+                value.append(char)
+                self._advance(1)
+        return Token("STRING", "".join(value), line, column)
+
+    def _number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.position
+        if self.text[self.position : self.position + 2].lower() == "0x":
+            self._advance(2)
+            while self.position < len(self.text) and self.text[self.position] in "0123456789abcdefABCDEF":
+                self._advance(1)
+            return Token("INT", int(self.text[start : self.position], 16), line, column)
+        while self.position < len(self.text) and self.text[self.position].isdigit():
+            self._advance(1)
+        return Token("INT", int(self.text[start : self.position]), line, column)
+
+    def _word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.position
+        while self.position < len(self.text) and (
+            self.text[self.position].isalnum() or self.text[self.position] == "_"
+        ):
+            self._advance(1)
+        word = self.text[start : self.position]
+        kind = "KEYWORD" if word in KEYWORDS else "IDENT"
+        return Token(kind, word, line, column)
+
+    # -- position tracking --------------------------------------------------------
+
+    def _advance(self, count: int, *, newline: bool = False) -> None:
+        self.position += count
+        if newline:
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += count
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize DSL text."""
+    return Lexer(text).tokens()

@@ -1,0 +1,262 @@
+"""Recursive-descent parser of the message format specification DSL.
+
+Grammar (informal)::
+
+    spec        := [ "protocol" IDENT ";" ] "message" IDENT block
+    block       := "{" node* "}"
+    node        := terminal | composite
+    terminal    := ("uint" | "bytes" | "text") IDENT boundary [ "little" | "big" ] ";"
+    boundary    := ":" INT
+                 | "delimited" "(" STRING ")"
+                 | "length" "(" IDENT ")"
+                 | "end"
+    composite   := "sequence" IDENT [ comp_bound ] block
+                 | "optional" IDENT [ "present_if" "(" IDENT "==" value ")" ] block
+                 | "repetition" IDENT [ rep_bound ] block
+                 | "tabular" IDENT "count" "(" IDENT ")" block
+    comp_bound  := "length" "(" IDENT ")" | "end"
+    rep_bound   := "delimited" "(" STRING ")" | "length" "(" IDENT ")"
+                 | "count" "(" IDENT ")" | "end"
+    value       := INT | STRING
+
+The parser produces the same :class:`~repro.core.graph.FormatGraph` objects as
+the programmatic builder API, so both specification front-ends are equivalent.
+"""
+
+from __future__ import annotations
+
+from ..core.boundary import Boundary
+from ..core.builder import build_graph
+from ..core.errors import SpecError
+from ..core.graph import FormatGraph
+from ..core.node import Node, NodeType
+from ..core.values import Endian, ValueKind
+from .lexer import Token, tokenize
+
+
+class SpecParser:
+    """Parses DSL text into a validated message format graph."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def parse(self) -> FormatGraph:
+        """Parse the full specification and return the validated graph."""
+        protocol_name = None
+        if self._peek_keyword("protocol"):
+            self._expect_keyword("protocol")
+            protocol_name = self._name()
+            self._expect("SEMI")
+        self._expect_keyword("message")
+        message_name = self._name()
+        children = self._block()
+        self._expect("EOF")
+        root = Node(message_name, NodeType.SEQUENCE, Boundary.delegated(), children=children)
+        return build_graph(root, name=str(protocol_name or message_name))
+
+    # -- grammar rules ------------------------------------------------------------
+
+    def _block(self) -> list[Node]:
+        self._expect("LBRACE")
+        nodes: list[Node] = []
+        while not self._peek("RBRACE"):
+            nodes.append(self._node())
+        self._expect("RBRACE")
+        return nodes
+
+    def _node(self) -> Node:
+        token = self._peek_token()
+        if token.kind != "KEYWORD":
+            raise SpecError(f"expected a node keyword, got {token.describe()}",
+                            token.line, token.column)
+        keyword = str(token.value)
+        if keyword in ("uint", "bytes", "text"):
+            return self._terminal()
+        if keyword == "sequence":
+            return self._sequence()
+        if keyword == "optional":
+            return self._optional()
+        if keyword == "repetition":
+            return self._repetition()
+        if keyword == "tabular":
+            return self._tabular()
+        raise SpecError(f"unexpected keyword {keyword!r}", token.line, token.column)
+
+    def _terminal(self) -> Node:
+        kind_token = self._expect("KEYWORD")
+        kind = {"uint": ValueKind.UINT, "bytes": ValueKind.BYTES, "text": ValueKind.TEXT}[
+            str(kind_token.value)
+        ]
+        name = self._name()
+        boundary = self._terminal_boundary(kind_token)
+        endian = Endian.BIG
+        if self._peek_keyword("little"):
+            self._next()
+            endian = Endian.LITTLE
+        elif self._peek_keyword("big"):
+            self._next()
+        self._expect("SEMI")
+        return Node(name, NodeType.TERMINAL, boundary, value_kind=kind, endian=endian)
+
+    def _terminal_boundary(self, context: Token) -> Boundary:
+        if self._peek("COLON"):
+            self._next()
+            size = int(self._expect("INT").value)
+            return Boundary.fixed(size)
+        if self._peek_keyword("delimited"):
+            self._next()
+            return Boundary.delimited(self._parenthesized_string())
+        if self._peek_keyword("length"):
+            self._next()
+            return Boundary.length(self._parenthesized_ident())
+        if self._peek_keyword("end"):
+            self._next()
+            return Boundary.end()
+        raise SpecError(
+            "terminal requires a boundary (': N', 'delimited(..)', 'length(..)' or 'end')",
+            context.line, context.column,
+        )
+
+    def _sequence(self) -> Node:
+        self._expect_keyword("sequence")
+        name = self._name()
+        boundary = Boundary.delegated()
+        if self._peek_keyword("length"):
+            self._next()
+            boundary = Boundary.length(self._parenthesized_ident())
+        elif self._peek_keyword("end"):
+            self._next()
+            boundary = Boundary.end()
+        children = self._block()
+        if not children:
+            token = self._peek_token()
+            raise SpecError(f"sequence {name!r} requires at least one child",
+                            token.line, token.column)
+        return Node(name, NodeType.SEQUENCE, boundary, children=children)
+
+    def _optional(self) -> Node:
+        self._expect_keyword("optional")
+        name = self._name()
+        presence_ref = None
+        presence_value: object = None
+        if self._peek_keyword("present_if"):
+            self._next()
+            self._expect("LPAREN")
+            presence_ref = self._name()
+            self._expect("EQ")
+            presence_value = self._value()
+            self._expect("RPAREN")
+        children = self._block()
+        child = self._single_child(name, children)
+        return Node(
+            name,
+            NodeType.OPTIONAL,
+            Boundary.delegated(),
+            children=[child],
+            presence_ref=presence_ref,
+            presence_value=presence_value,
+        )
+
+    def _repetition(self) -> Node:
+        self._expect_keyword("repetition")
+        name = self._name()
+        boundary = Boundary.end()
+        if self._peek_keyword("delimited"):
+            self._next()
+            boundary = Boundary.delimited(self._parenthesized_string())
+        elif self._peek_keyword("length"):
+            self._next()
+            boundary = Boundary.length(self._parenthesized_ident())
+        elif self._peek_keyword("count"):
+            self._next()
+            boundary = Boundary.counter(self._parenthesized_ident())
+        elif self._peek_keyword("end"):
+            self._next()
+        children = self._block()
+        child = self._single_child(name, children)
+        return Node(name, NodeType.REPETITION, boundary, children=[child])
+
+    def _tabular(self) -> Node:
+        self._expect_keyword("tabular")
+        name = self._name()
+        self._expect_keyword("count")
+        counter = self._parenthesized_ident()
+        children = self._block()
+        child = self._single_child(name, children)
+        return Node(name, NodeType.TABULAR, Boundary.counter(counter), children=[child])
+
+    def _single_child(self, name: str, children: list[Node]) -> Node:
+        """Optional/Repetition/Tabular blocks with several nodes get an implicit sequence."""
+        if len(children) == 1:
+            return children[0]
+        if not children:
+            token = self._peek_token()
+            raise SpecError(f"node {name!r} requires at least one child", token.line, token.column)
+        return Node(f"{name}_item", NodeType.SEQUENCE, Boundary.delegated(), children=children)
+
+    def _value(self) -> object:
+        token = self._next()
+        if token.kind == "INT":
+            return token.value
+        if token.kind == "STRING":
+            return token.value
+        raise SpecError(f"expected a literal value, got {token.describe()}",
+                        token.line, token.column)
+
+    # -- token helpers --------------------------------------------------------------
+
+    def _parenthesized_string(self) -> bytes:
+        self._expect("LPAREN")
+        value = str(self._expect("STRING").value).encode("latin-1")
+        self._expect("RPAREN")
+        return value
+
+    def _parenthesized_ident(self) -> str:
+        self._expect("LPAREN")
+        value = self._name()
+        self._expect("RPAREN")
+        return value
+
+    def _peek_token(self) -> Token:
+        return self.tokens[self.position]
+
+    def _peek(self, kind: str) -> bool:
+        return self.tokens[self.position].kind == kind
+
+    def _peek_keyword(self, keyword: str) -> bool:
+        token = self.tokens[self.position]
+        return token.kind == "KEYWORD" and token.value == keyword
+
+    def _next(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise SpecError(f"expected {kind}, got {token.describe()}", token.line, token.column)
+        return token
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._next()
+        if token.kind != "KEYWORD" or token.value != keyword:
+            raise SpecError(f"expected {keyword!r}, got {token.describe()}",
+                            token.line, token.column)
+        return token
+
+    def _name(self) -> str:
+        """Node names may also reuse DSL keywords (e.g. ``count``, ``length``)."""
+        token = self._next()
+        if token.kind not in ("IDENT", "KEYWORD"):
+            raise SpecError(f"expected a name, got {token.describe()}",
+                            token.line, token.column)
+        return str(token.value)
+
+
+def parse_spec(text: str) -> FormatGraph:
+    """Parse DSL text into a validated message format graph."""
+    return SpecParser(text).parse()

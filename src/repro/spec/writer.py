@@ -1,0 +1,107 @@
+"""Writer: render a (non-obfuscated) message format graph back into DSL text.
+
+The writer is the inverse of :mod:`repro.spec.parser` for original
+specifications; it is used to export programmatically built graphs (e.g. the
+bundled Modbus/HTTP specifications) and by the round-trip tests of the DSL.
+Obfuscation metadata (codec chains, synthesis, mirroring, padding) is not part
+of the specification language and is rejected.
+"""
+
+from __future__ import annotations
+
+from ..core.boundary import BoundaryKind
+from ..core.errors import SpecError
+from ..core.graph import FormatGraph
+from ..core.node import Node, NodeType
+from ..core.values import Endian, ValueKind
+
+_ESCAPES = {ord("\n"): "\\n", ord("\r"): "\\r", ord("\t"): "\\t", ord("\\"): "\\\\",
+            ord('"'): '\\"', 0: "\\0"}
+
+
+def _escape(data: bytes) -> str:
+    out: list[str] = []
+    for byte in data:
+        if byte in _ESCAPES:
+            out.append(_ESCAPES[byte])
+        elif 0x20 <= byte < 0x7F:
+            out.append(chr(byte))
+        else:
+            out.append(f"\\x{byte:02x}")
+    return "".join(out)
+
+
+def _check_plain(node: Node) -> None:
+    if node.codec_chain or node.synthesis is not None or node.mirrored or node.is_pad:
+        raise SpecError(
+            f"node {node.name!r} carries obfuscation metadata and cannot be written "
+            f"as a plain specification"
+        )
+
+
+def _terminal_line(node: Node) -> str:
+    _check_plain(node)
+    keyword = {ValueKind.UINT: "uint", ValueKind.BYTES: "bytes", ValueKind.TEXT: "text"}[
+        node.value_kind or ValueKind.BYTES
+    ]
+    kind = node.boundary.kind
+    if kind is BoundaryKind.FIXED:
+        boundary = f" : {node.boundary.size}"
+    elif kind is BoundaryKind.DELIMITED:
+        boundary = f' delimited("{_escape(node.boundary.delimiter or b"")}")'
+    elif kind is BoundaryKind.LENGTH:
+        boundary = f" length({node.boundary.ref})"
+    else:
+        boundary = " end"
+    endian = " little" if node.endian is Endian.LITTLE else ""
+    return f"{keyword} {node.name}{boundary}{endian};"
+
+
+def _composite_header(node: Node) -> str:
+    _check_plain(node)
+    kind = node.boundary.kind
+    if node.type is NodeType.SEQUENCE:
+        if kind is BoundaryKind.LENGTH:
+            return f"sequence {node.name} length({node.boundary.ref})"
+        if kind is BoundaryKind.END:
+            return f"sequence {node.name} end"
+        return f"sequence {node.name}"
+    if node.type is NodeType.OPTIONAL:
+        if node.presence_ref is not None:
+            value = node.presence_value
+            literal = f'"{value}"' if isinstance(value, str) else str(value)
+            return f"optional {node.name} present_if({node.presence_ref} == {literal})"
+        return f"optional {node.name}"
+    if node.type is NodeType.REPETITION:
+        if kind is BoundaryKind.DELIMITED:
+            return f'repetition {node.name} delimited("{_escape(node.boundary.delimiter or b"")}")'
+        if kind is BoundaryKind.LENGTH:
+            return f"repetition {node.name} length({node.boundary.ref})"
+        if kind is BoundaryKind.COUNTER:
+            return f"repetition {node.name} count({node.boundary.ref})"
+        return f"repetition {node.name} end"
+    return f"tabular {node.name} count({node.boundary.ref})"
+
+
+def _write_node(node: Node, indent: int, lines: list[str]) -> None:
+    pad = "    " * indent
+    if node.type is NodeType.TERMINAL:
+        lines.append(pad + _terminal_line(node))
+        return
+    lines.append(pad + _composite_header(node) + " {")
+    for child in node.children:
+        _write_node(child, indent + 1, lines)
+    lines.append(pad + "}")
+
+
+def write_spec(graph: FormatGraph) -> str:
+    """Render a plain message format graph into specification DSL text."""
+    root = graph.root
+    if root.type is not NodeType.SEQUENCE:
+        raise SpecError("the DSL writer requires a sequence root node")
+    _check_plain(root)
+    lines = [f"protocol {graph.name};", "", f"message {root.name} {{"]
+    for child in root.children:
+        _write_node(child, 1, lines)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,49 @@
+"""Obfuscating transformations of the message format graph (paper Section V-B)."""
+
+from .base import (
+    Transformation,
+    TransformationCategory,
+    TransformationRecord,
+)
+from .boundary_change import BoundaryChange
+from .childmove import ChildMove
+from .const import ConstAdd, ConstSub, ConstXor
+from .engine import ObfuscationResult, Obfuscator, obfuscate
+from .mirror import ReadFromEnd
+from .pad import PadInsert
+from .registry import (
+    TRANSFORMATION_FAMILIES,
+    by_name,
+    default_transformations,
+    family,
+    transformation_names,
+)
+from .split import SplitAdd, SplitCat, SplitSub, SplitXor
+from .tabular import RepSplit, TabSplit
+
+__all__ = [
+    "BoundaryChange",
+    "ChildMove",
+    "ConstAdd",
+    "ConstSub",
+    "ConstXor",
+    "ObfuscationResult",
+    "Obfuscator",
+    "PadInsert",
+    "ReadFromEnd",
+    "RepSplit",
+    "SplitAdd",
+    "SplitCat",
+    "SplitSub",
+    "SplitXor",
+    "TRANSFORMATION_FAMILIES",
+    "TabSplit",
+    "Transformation",
+    "TransformationCategory",
+    "TransformationRecord",
+    "by_name",
+    "default_transformations",
+    "family",
+    "obfuscate",
+    "transformation_names",
+]

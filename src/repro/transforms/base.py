@@ -1,0 +1,153 @@
+"""Base classes and shared helpers of the obfuscating transformations.
+
+A generic transformation (paper Table I/II) rewrites a graph pattern into
+another graph pattern under applicability constraints, and is invertible by
+construction: the wire runtime knows how to serialize and parse the rewritten
+pattern so that the logical message is preserved.
+
+Every transformation implements two methods:
+
+* :meth:`Transformation.is_applicable` — the applicability constraints of the
+  paper's Table II, refined with the concrete correctness conditions of this
+  runtime (documented on each class),
+* :meth:`Transformation.apply` — the in-place graph rewriting, returning a
+  :class:`TransformationRecord` describing what was changed.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, ClassVar
+
+from ..core.boundary import BoundaryKind
+from ..core.graph import FormatGraph
+from ..core.node import Node
+
+
+class TransformationCategory(str, enum.Enum):
+    """Collberg-style category of a transformation (paper Section V-B)."""
+
+    AGGREGATION = "aggregation"
+    ORDERING = "ordering"
+
+
+@dataclass(frozen=True)
+class TransformationRecord:
+    """One applied transformation instance."""
+
+    transformation: str
+    category: TransformationCategory
+    target: str
+    created: tuple[str, ...] = ()
+    parameters: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        created = f" -> {', '.join(self.created)}" if self.created else ""
+        return f"{self.transformation}({self.target}){created}"
+
+
+class Transformation(ABC):
+    """A generic, invertible obfuscating transformation of the message format graph."""
+
+    #: Unique transformation name (as listed in the paper's Table I).
+    name: ClassVar[str] = "transformation"
+    #: Collberg category the transformation belongs to.
+    category: ClassVar[TransformationCategory] = TransformationCategory.AGGREGATION
+    #: Protocol-reverse-engineering challenge the transformation emphasises (Table II).
+    challenge: ClassVar[str] = ""
+
+    @abstractmethod
+    def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
+        """True when the transformation can safely be applied to ``node``."""
+
+    @abstractmethod
+    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        """Rewrite the graph in place and return the record of the rewriting.
+
+        Raises :class:`~repro.core.errors.NotApplicableError` when the random
+        parameters drawn cannot satisfy the constraints (callers treat this as
+        a skipped application).
+        """
+
+    def record(self, target: Node, *, created: tuple[str, ...] = (),
+               **parameters: Any) -> TransformationRecord:
+        """Build the record for one application of this transformation."""
+        return TransformationRecord(
+            transformation=self.name,
+            category=self.category,
+            target=target.name,
+            created=created,
+            parameters=parameters,
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# shared constraint helpers
+# ---------------------------------------------------------------------------
+
+
+def is_ref_target(graph: FormatGraph, node: Node) -> bool:
+    """True when some boundary or presence condition references ``node``."""
+    return graph.is_ref_target(node.name)
+
+
+def parent_is_synthesis(node: Node) -> bool:
+    """True when the node is a value child of a Split*-created synthesis sequence."""
+    return node.parent is not None and node.parent.synthesis is not None
+
+
+def inside_repetition(node: Node) -> bool:
+    """True when the node lives under a Repetition or Tabular node."""
+    from ..core.node import NodeType
+
+    return any(
+        ancestor.type in (NodeType.REPETITION, NodeType.TABULAR)
+        for ancestor in node.ancestors()
+    )
+
+
+def replace_node(graph: FormatGraph, old: Node, new: Node) -> None:
+    """Substitute ``new`` for ``old`` at the same position (root included)."""
+    if old.parent is None:
+        new.parent = None
+        graph.root = new
+        return
+    old.parent.replace_child(old, new)
+
+
+def subtree_names(node: Node) -> set[str]:
+    """Names of every node in the subtree rooted at ``node``."""
+    return {descendant.name for descendant in node.iter_subtree()}
+
+
+def cross_sibling_references(children: list[Node]) -> bool:
+    """True when a node in one child subtree references a node in a sibling subtree.
+
+    Used by TabSplit/RepSplit: splitting the element sequence into per-column
+    tabulars would break such references because the columns are no longer
+    parsed element by element.
+    """
+    names_per_child = [subtree_names(child) for child in children]
+    for index, child in enumerate(children):
+        own_names = names_per_child[index]
+        sibling_names = set().union(
+            *(names for position, names in enumerate(names_per_child) if position != index)
+        ) if len(children) > 1 else set()
+        for descendant in child.iter_subtree():
+            for ref in descendant.referenced_names():
+                if ref in sibling_names and ref not in own_names:
+                    return True
+    return False
+
+
+def delimited_ancestor_chain(node: Node) -> bool:
+    """True when an ancestor uses a DELIMITED boundary (terminator scanning)."""
+    return any(
+        ancestor.boundary.kind is BoundaryKind.DELIMITED for ancestor in node.ancestors()
+    )

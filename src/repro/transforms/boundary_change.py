@@ -1,0 +1,72 @@
+"""BoundaryChange: replace a Delimited boundary by a Length boundary.
+
+The delimited node is replaced by a sequence of two nodes ``(n1, n2)`` where
+``n1`` is a derived length field and ``n2`` carries the original value,
+delimited by that length instead of by the delimiter (paper Table I/II,
+"fields delimitation" challenge: well-known delimiters disappear from the
+wire).
+
+The transformation applies both to Delimited terminals (e.g. the
+space/CRLF-separated HTTP tokens) and to Delimited repetitions (e.g. the HTTP
+header block terminated by an empty line).  As the paper notes, it is also an
+enabler: transformations that are not applicable to delimited fields
+(byte-wise ConstXor, ReadFromEnd, ...) become applicable to the
+length-prefixed replacement.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..core.boundary import Boundary, BoundaryKind
+from ..core.graph import FormatGraph
+from ..core.node import Node, NodeType
+from ..core.values import ValueKind
+from .base import (
+    Transformation,
+    TransformationCategory,
+    TransformationRecord,
+    parent_is_synthesis,
+    replace_node,
+)
+
+
+class BoundaryChange(Transformation):
+    """Turn a Delimited boundary into a derived Length boundary."""
+
+    name = "BoundaryChange"
+    category = TransformationCategory.AGGREGATION
+    challenge = "fields delimitation: delimitation with a length field"
+
+    _PREFIX_WIDTH = 2
+
+    def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
+        if node.boundary.kind is not BoundaryKind.DELIMITED:
+            return False
+        if node.type not in (NodeType.TERMINAL, NodeType.REPETITION):
+            return False
+        if node.type is NodeType.TERMINAL and node.is_pad:
+            return False
+        return not parent_is_synthesis(node)
+
+    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        prefix = Node(
+            graph.fresh_name(f"{node.name}_len"),
+            NodeType.TERMINAL,
+            Boundary.fixed(self._PREFIX_WIDTH),
+            value_kind=ValueKind.UINT,
+            doc=f"derived length of {node.name}",
+        )
+        wrapper = Node(
+            graph.fresh_name(f"{node.name}_framed"),
+            NodeType.SEQUENCE,
+            Boundary.delegated(),
+            doc=f"BoundaryChange of {node.name}",
+        )
+        replace_node(graph, node, wrapper)
+        wrapper.add_child(prefix)
+        node.boundary = Boundary.length(prefix.name)
+        wrapper.add_child(node)
+        return self.record(
+            node, created=(wrapper.name, prefix.name), prefix_width=self._PREFIX_WIDTH
+        )

@@ -1,0 +1,66 @@
+"""ChildMove: permute two sub-nodes of a Sequence.
+
+Meaningful fields (keywords, type discriminators) are no longer at the
+beginning of the message, which degrades classification based on prefix
+similarity (paper Table II).
+
+The paper's constraint — "no nodes inside B must depend on a node inside A" —
+is enforced by attempting the permutation and re-validating the graph: a swap
+that would move a length/counter/presence reference after its user, or that
+would cross a variable-arity scope, is rejected and another pair is tried.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..core.errors import GraphError, NotApplicableError
+from ..core.graph import FormatGraph
+from ..core.node import Node, NodeType
+from ..core.validate import validate_graph
+from .base import Transformation, TransformationCategory, TransformationRecord
+
+
+class ChildMove(Transformation):
+    """Permute two sub-nodes of a Sequence node."""
+
+    name = "ChildMove"
+    category = TransformationCategory.ORDERING
+    challenge = "classification: meaningful fields are no longer at the beginning"
+
+    _MAX_ATTEMPTS = 8
+
+    def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
+        return (
+            node.type is NodeType.SEQUENCE
+            and node.synthesis is None
+            and len(node.children) >= 2
+        )
+
+    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        count = len(node.children)
+        pairs = [(i, j) for i in range(count) for j in range(i + 1, count)]
+        rng.shuffle(pairs)
+        for first, second in pairs[: self._MAX_ATTEMPTS]:
+            node.children[first], node.children[second] = (
+                node.children[second],
+                node.children[first],
+            )
+            try:
+                validate_graph(graph)
+            except GraphError:
+                # Revert the permutation: it broke a dependency ordering.
+                node.children[first], node.children[second] = (
+                    node.children[second],
+                    node.children[first],
+                )
+                continue
+            return self.record(
+                node,
+                first=node.children[first].name,
+                second=node.children[second].name,
+                positions=(first, second),
+            )
+        raise NotApplicableError(
+            f"no dependency-preserving permutation found for sequence {node.name!r}"
+        )

@@ -1,0 +1,77 @@
+"""Constant value transformations: ConstAdd, ConstSub and ConstXor.
+
+A Terminal node carrying a value ``v`` is substituted by a node carrying
+``v op constant`` (paper Table I).  The operation is appended to the
+terminal's codec chain: the serializer applies it before encoding and the
+parser inverts it after decoding, so the transformation is trivially
+invertible and composes with every other transformation.
+
+Applicability (runtime-correctness refinements of Table II):
+
+* UINT terminals use a whole-value modular operation whose width matches the
+  fixed size of the field;
+* BYTES/TEXT terminals use a byte-wise operation, which is **not** applicable
+  to Delimited terminals because the transformed value could collide with the
+  delimiter (the paper notes BoundaryChange can be used to lift exactly this
+  kind of restriction);
+* padding terminals are never targeted (their value is random anyway).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import ClassVar
+
+from ..core.boundary import BoundaryKind
+from ..core.graph import FormatGraph
+from ..core.node import Node, NodeType
+from ..core.values import ValueKind, ValueOp, ValueOpKind
+from .base import Transformation, TransformationCategory, TransformationRecord
+
+
+class _ConstTransformation(Transformation):
+    """Shared implementation of the three constant-value transformations."""
+
+    category = TransformationCategory.AGGREGATION
+    challenge = "classification: keyword values no longer appear verbatim"
+    op_kind: ClassVar[ValueOpKind]
+
+    def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
+        if node.type is not NodeType.TERMINAL or node.is_pad:
+            return False
+        if node.value_kind is ValueKind.UINT:
+            return node.boundary.kind is BoundaryKind.FIXED and (node.boundary.size or 0) > 0
+        # BYTES / TEXT: byte-wise operation, unsafe on delimited fields.
+        return node.boundary.kind is not BoundaryKind.DELIMITED
+
+    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        if node.value_kind is ValueKind.UINT:
+            width = node.boundary.size or 1
+            constant = rng.randrange(1, 1 << (8 * width))
+            op = ValueOp(self.op_kind, constant, bytewise=False, width=width)
+        else:
+            constant = rng.randrange(1, 256)
+            op = ValueOp(self.op_kind, constant, bytewise=True)
+        node.codec_chain = node.codec_chain + (op,)
+        return self.record(node, constant=constant, bytewise=op.bytewise)
+
+
+class ConstAdd(_ConstTransformation):
+    """Substitute a terminal value ``v`` by ``v + constant``."""
+
+    name = "ConstAdd"
+    op_kind = ValueOpKind.ADD
+
+
+class ConstSub(_ConstTransformation):
+    """Substitute a terminal value ``v`` by ``v - constant``."""
+
+    name = "ConstSub"
+    op_kind = ValueOpKind.SUB
+
+
+class ConstXor(_ConstTransformation):
+    """Substitute a terminal value ``v`` by ``v xor constant``."""
+
+    name = "ConstXor"
+    op_kind = ValueOpKind.XOR

@@ -1,0 +1,151 @@
+"""The obfuscation engine.
+
+Implements the selection routine of the paper (Section VI): every node of the
+graph is analysed to identify the compatible generic transformations, one of
+them is chosen at random and applied, and the routine is repeated as many
+times as requested by the developer (the "number of obfuscations per node"
+parameter of the evaluation).
+
+Because transformations create new nodes, later passes operate on a larger
+graph, which reproduces the super-linear growth of the number of applied
+transformations reported in Tables III and IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from ..core.errors import NotApplicableError, TransformError
+from ..core.graph import FormatGraph
+from ..core.validate import validate_graph
+from .base import Transformation, TransformationRecord
+from .registry import default_transformations
+
+
+@dataclass
+class ObfuscationResult:
+    """Outcome of one obfuscation run."""
+
+    original: FormatGraph
+    graph: FormatGraph
+    passes: int
+    records: list[TransformationRecord] = field(default_factory=list)
+
+    @property
+    def applied_count(self) -> int:
+        """Total number of transformations effectively applied (paper "Nb. transf. applied")."""
+        return len(self.records)
+
+    def count_by_transformation(self) -> dict[str, int]:
+        """Number of applications of each transformation."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.transformation] = counts.get(record.transformation, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary of the run."""
+        counts = ", ".join(
+            f"{name}×{count}" for name, count in sorted(self.count_by_transformation().items())
+        )
+        return (
+            f"{self.applied_count} transformation(s) over {self.passes} pass(es) on "
+            f"{self.original.name!r}: {counts or 'none'}"
+        )
+
+
+class Obfuscator:
+    """Applies randomly selected generic transformations to a format graph."""
+
+    def __init__(self, transformations: list[Transformation] | None = None,
+                 *, seed: int | None = None, rng: Random | None = None,
+                 validate_each_step: bool = True):
+        self.transformations = (
+            list(transformations) if transformations is not None else default_transformations()
+        )
+        self._rng = rng if rng is not None else Random(seed if seed is not None else 0)
+        self.validate_each_step = validate_each_step
+
+    # -- public API -----------------------------------------------------------
+
+    def obfuscate(self, graph: FormatGraph, passes: int = 1) -> ObfuscationResult:
+        """Apply ``passes`` obfuscation passes to a copy of ``graph``.
+
+        One pass visits every node present at the start of the pass, picks one
+        applicable transformation at random for each of them and applies it,
+        mirroring the paper's per-node obfuscation parameter (0 passes returns
+        an untouched copy).
+        """
+        if passes < 0:
+            raise TransformError(f"the number of passes cannot be negative ({passes})")
+        working = graph.clone()
+        result = ObfuscationResult(original=graph, graph=working, passes=passes)
+        for _ in range(passes):
+            self._run_pass(working, result.records)
+        return result
+
+    def obfuscate_node_budget(self, graph: FormatGraph, budget: int) -> ObfuscationResult:
+        """Apply at most ``budget`` transformations, visiting nodes round-robin.
+
+        Used by ablation studies that need a fixed number of applications
+        rather than a per-node parameter.
+        """
+        working = graph.clone()
+        result = ObfuscationResult(original=graph, graph=working, passes=0)
+        applied = True
+        while applied and len(result.records) < budget:
+            applied = False
+            for name in [node.name for node in working.nodes()]:
+                if len(result.records) >= budget:
+                    break
+                node = working.find(name)
+                if node is None:
+                    continue
+                record = self._apply_random(working, node)
+                if record is not None:
+                    result.records.append(record)
+                    applied = True
+            result.passes += 1
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _run_pass(self, graph: FormatGraph, records: list[TransformationRecord]) -> None:
+        snapshot = [node.name for node in graph.nodes()]
+        for name in snapshot:
+            node = graph.find(name)
+            if node is None:
+                # The node was replaced by an earlier transformation of this pass.
+                continue
+            record = self._apply_random(graph, node)
+            if record is not None:
+                records.append(record)
+
+    def _apply_random(self, graph: FormatGraph, node) -> TransformationRecord | None:
+        applicable = [
+            transformation
+            for transformation in self.transformations
+            if transformation.is_applicable(graph, node)
+        ]
+        if not applicable:
+            return None
+        transformation = self._rng.choice(applicable)
+        try:
+            record = transformation.apply(graph, node, self._rng)
+        except NotApplicableError:
+            return None
+        if self.validate_each_step:
+            try:
+                validate_graph(graph)
+            except Exception as exc:  # pragma: no cover - guards against transform bugs
+                raise TransformError(
+                    f"transformation {transformation.name} left the graph invalid: {exc}"
+                ) from exc
+        return record
+
+
+def obfuscate(graph: FormatGraph, passes: int = 1, *, seed: int = 0,
+              transformations: list[Transformation] | None = None) -> ObfuscationResult:
+    """Module-level convenience wrapper around :class:`Obfuscator`."""
+    return Obfuscator(transformations, seed=seed).obfuscate(graph, passes)

@@ -1,0 +1,78 @@
+"""PadInsert: insert a random-value padding node into a Sequence.
+
+The padding terminal has a fixed size drawn at transformation time; its value
+is drawn at random for every serialized message and discarded by the parser.
+Padding perturbs both the sequence-alignment step of trace-based inference
+(same-type messages differ in random positions) and the apparent field layout.
+
+The padding node is never inserted as the first child of a sequence: the
+first bytes of a repeated element are inspected by the parser when the
+enclosing repetition uses a terminator (Delimited boundary), and a random
+padding byte sequence could collide with the terminator.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..core.boundary import Boundary
+from ..core.errors import NotApplicableError
+from ..core.graph import FormatGraph, is_greedy
+from ..core.node import Node, NodeType
+from ..core.values import ValueKind
+from .base import Transformation, TransformationCategory, TransformationRecord
+
+
+class PadInsert(Transformation):
+    """Insert a random-value padding terminal into a Sequence node."""
+
+    name = "PadInsert"
+    category = TransformationCategory.AGGREGATION
+    challenge = "classification: same-type messages differ in meaningless positions"
+
+    _MIN_SIZE = 1
+    _MAX_SIZE = 8
+
+    def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
+        return (
+            node.type is NodeType.SEQUENCE
+            and node.synthesis is None
+            and len(self._valid_positions(node)) > 0
+        )
+
+    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        positions = self._valid_positions(node)
+        if not positions:
+            raise NotApplicableError(
+                f"sequence {node.name!r} has no safe padding insertion position"
+            )
+        size = rng.randint(self._MIN_SIZE, self._MAX_SIZE)
+        position = rng.choice(positions)
+        pad = Node(
+            graph.fresh_name(f"{node.name}_pad"),
+            NodeType.TERMINAL,
+            Boundary.fixed(size),
+            value_kind=ValueKind.BYTES,
+            is_pad=True,
+            doc=f"random padding inserted into {node.name}",
+        )
+        node.insert_child(position, pad)
+        return self.record(node, created=(pad.name,), size=size, position=position)
+
+    @staticmethod
+    def _valid_positions(node: Node) -> list[int]:
+        """Insertion positions that keep the sequence parseable.
+
+        Position 0 is excluded (the first bytes of a repeated element are
+        compared against the enclosing terminator), and positions after a
+        greedy child are excluded (the padding would be swallowed by the
+        rest-of-window field preceding it).
+        """
+        if not node.children:
+            return []
+        positions: list[int] = []
+        for position in range(1, len(node.children) + 1):
+            if any(is_greedy(child) for child in node.children[:position]):
+                break
+            positions.append(position)
+        return positions

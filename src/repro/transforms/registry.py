@@ -1,0 +1,69 @@
+"""Registry of the generic transformations (paper Table I).
+
+The registry exposes the default transformation set used by the obfuscation
+engine, lookup by name, and the grouping into families used by the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from .base import Transformation
+from .boundary_change import BoundaryChange
+from .childmove import ChildMove
+from .const import ConstAdd, ConstSub, ConstXor
+from .mirror import ReadFromEnd
+from .pad import PadInsert
+from .split import SplitAdd, SplitCat, SplitSub, SplitXor
+from .tabular import RepSplit, TabSplit
+
+
+def default_transformations() -> list[Transformation]:
+    """Fresh instances of every generic transformation of the paper's Table I."""
+    return [
+        SplitAdd(),
+        SplitSub(),
+        SplitXor(),
+        SplitCat(),
+        ConstAdd(),
+        ConstSub(),
+        ConstXor(),
+        BoundaryChange(),
+        PadInsert(),
+        ReadFromEnd(),
+        TabSplit(),
+        RepSplit(),
+        ChildMove(),
+    ]
+
+
+#: Families used by the ablation study (one family enabled at a time).
+TRANSFORMATION_FAMILIES: dict[str, tuple[str, ...]] = {
+    "split": ("SplitAdd", "SplitSub", "SplitXor", "SplitCat"),
+    "const": ("ConstAdd", "ConstSub", "ConstXor"),
+    "boundary": ("BoundaryChange",),
+    "pad": ("PadInsert",),
+    "mirror": ("ReadFromEnd",),
+    "tabular": ("TabSplit", "RepSplit"),
+    "childmove": ("ChildMove",),
+}
+
+
+def transformation_names() -> list[str]:
+    """Names of every registered transformation."""
+    return [transformation.name for transformation in default_transformations()]
+
+
+def by_name(name: str) -> Transformation:
+    """Instantiate a transformation by its name."""
+    for transformation in default_transformations():
+        if transformation.name == name:
+            return transformation
+    raise KeyError(f"unknown transformation {name!r}")
+
+
+def family(name: str) -> list[Transformation]:
+    """Instantiate the transformations of one family (for ablation studies)."""
+    if name not in TRANSFORMATION_FAMILIES:
+        raise KeyError(f"unknown transformation family {name!r}")
+    members = TRANSFORMATION_FAMILIES[name]
+    return [by_name(member) for member in members]

@@ -1,0 +1,150 @@
+"""TabSplit and RepSplit: column-wise splitting of repeated structures.
+
+A Tabular (resp. Repetition) node whose element is a Sequence ``(A, B, ...)``
+is replaced by a sequence of Tabular nodes, one per column: the wire layout
+changes from ``(A B)^n`` to ``A^n B^n``.  This turns a regular language into a
+context-free one (the paper's ``a^n b^n`` example), which is precisely what
+regular-model-based inference tools cannot represent (Table II, "inference
+models" challenge).
+
+For Repetition nodes whose element count is not already given by a counter
+field, RepSplit introduces a derived two-byte count field so that the
+per-column Tabular nodes stay parseable — the element count must be known
+before the first column can be delimited.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..core.boundary import Boundary, BoundaryKind
+from ..core.graph import FormatGraph
+from ..core.node import Node, NodeType
+from ..core.values import ValueKind
+from .base import (
+    Transformation,
+    TransformationCategory,
+    TransformationRecord,
+    cross_sibling_references,
+    replace_node,
+)
+
+
+def _splittable_element(node: Node) -> bool:
+    """True when the repeated element is a multi-column sequence safe to split."""
+    element = node.children[0]
+    return (
+        element.type is NodeType.SEQUENCE
+        and element.synthesis is None
+        and len(element.children) >= 2
+        and not cross_sibling_references(element.children)
+    )
+
+
+def _column_tabulars(graph: FormatGraph, node: Node, counter: str) -> tuple[list[Node], list[str]]:
+    """Build one Tabular node per column of the repeated element sequence."""
+    element = node.children[0]
+    columns: list[Node] = []
+    created: list[str] = []
+    for child in list(element.children):
+        element.remove_child(child)
+        column = Node(
+            graph.fresh_name(f"{node.name}_col"),
+            NodeType.TABULAR,
+            Boundary.counter(counter),
+            children=[child],
+            origin=node.origin,
+            doc=f"column {child.name} of {node.name}",
+        )
+        columns.append(column)
+        created.append(column.name)
+    return columns, created
+
+
+class TabSplit(Transformation):
+    """Split a Tabular of multi-field elements into per-column Tabular nodes."""
+
+    name = "TabSplit"
+    category = TransformationCategory.ORDERING
+    challenge = "inference models: turn the regular language (AB)* into A^m B^m"
+
+    def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
+        return (
+            node.type is NodeType.TABULAR
+            and node.boundary.kind is BoundaryKind.COUNTER
+            and _splittable_element(node)
+        )
+
+    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        counter = node.boundary.ref or ""
+        columns, created = _column_tabulars(graph, node, counter)
+        replacement = Node(
+            graph.fresh_name(f"{node.name}_columns"),
+            NodeType.SEQUENCE,
+            Boundary.delegated(),
+            children=columns,
+            doc=f"TabSplit of {node.name}",
+        )
+        replace_node(graph, node, replacement)
+        return self.record(
+            node, created=(replacement.name, *created), columns=len(columns)
+        )
+
+
+class RepSplit(Transformation):
+    """Split a Repetition of multi-field elements into per-column Tabular nodes."""
+
+    name = "RepSplit"
+    category = TransformationCategory.ORDERING
+    challenge = "inference models: turn the regular language (AB)* into A^m B^m"
+
+    _COUNT_WIDTH = 2
+
+    def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
+        return node.type is NodeType.REPETITION and _splittable_element(node)
+
+    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        created: list[str] = []
+        children: list[Node] = []
+        if node.boundary.kind is BoundaryKind.COUNTER:
+            counter = node.boundary.ref or ""
+            sequence_boundary = Boundary.delegated()
+        else:
+            count_field = Node(
+                graph.fresh_name(f"{node.name}_count"),
+                NodeType.TERMINAL,
+                Boundary.fixed(self._COUNT_WIDTH),
+                value_kind=ValueKind.UINT,
+                doc=f"derived element count of {node.name}",
+            )
+            children.append(count_field)
+            created.append(count_field.name)
+            counter = count_field.name
+            sequence_boundary = self._carried_boundary(node)
+        columns, column_names = _column_tabulars(graph, node, counter)
+        children.extend(columns)
+        created.extend(column_names)
+        replacement = Node(
+            graph.fresh_name(f"{node.name}_columns"),
+            NodeType.SEQUENCE,
+            sequence_boundary,
+            children=children,
+            doc=f"RepSplit of {node.name}",
+        )
+        replace_node(graph, node, replacement)
+        return self.record(
+            node, created=(replacement.name, *created), columns=len(columns)
+        )
+
+    @staticmethod
+    def _carried_boundary(node: Node) -> Boundary:
+        """Boundary of the replacement sequence.
+
+        A LENGTH-bounded repetition keeps its length field (the covered extent
+        is unchanged); Delimited and End repetitions become plain delegated
+        sequences — the terminator disappears from the wire, the derived count
+        field making it redundant.
+        """
+        if node.boundary.kind is BoundaryKind.LENGTH:
+            return Boundary.length(node.boundary.ref or "")
+        return Boundary.delegated()

@@ -1,0 +1,23 @@
+"""Wire runtime: on-the-fly serialization and parsing of (obfuscated) messages."""
+
+from .codec import WireCodec
+from .parser import Parser, parse
+from .pieces import Chunk, LengthSlot, PieceList
+from .serializer import Serializer, serialize, serialize_with_spans
+from .spans import FieldSpan, boundaries
+from .window import Window
+
+__all__ = [
+    "Chunk",
+    "FieldSpan",
+    "LengthSlot",
+    "Parser",
+    "PieceList",
+    "Serializer",
+    "Window",
+    "WireCodec",
+    "boundaries",
+    "parse",
+    "serialize",
+    "serialize_with_spans",
+]

@@ -1,0 +1,274 @@
+"""The wire parser.
+
+The parser walks the same (possibly obfuscated) message format graph as the
+serializer and rebuilds the *logical* message from the obfuscated byte string,
+undoing every transformation on the fly:
+
+* codec chains are inverted after decoding each terminal value,
+* Split* sequences recombine their two wire sub-values,
+* ReadFromEnd regions are extracted, byte-reversed and re-parsed,
+* padding terminals are read and discarded,
+* derived length/counter fields are decoded and used to delimit the nodes that
+  reference them but are not stored in the logical message.
+"""
+
+from __future__ import annotations
+
+from ..core.boundary import BoundaryKind
+from ..core.errors import ParseError
+from ..core.fieldpath import FieldPath
+from ..core.graph import FormatGraph, static_size
+from ..core.message import Message
+from ..core.node import Node, NodeType
+from ..core.values import Value, decode_value, invert_chain
+from .window import Window
+
+
+class _ParseContext:
+    """Mutable state shared by one parsing run."""
+
+    __slots__ = ("message", "raw_values", "index_stack")
+
+    def __init__(self) -> None:
+        self.message = Message()
+        #: decoded value of every terminal, keyed by node name; used to resolve
+        #: LENGTH/COUNTER boundaries and Optional presence conditions.  Within a
+        #: repetition element the latest value is always the one belonging to the
+        #: current element because references never cross element boundaries.
+        self.raw_values: dict[str, Value] = {}
+        self.index_stack: list[int] = []
+
+    def resolve(self, path: FieldPath) -> FieldPath:
+        """Bind the unbound repetition indices of ``path`` to the current stack."""
+        return path.resolve(self.index_stack)
+
+    def ref_value(self, ref: str, *, node: str) -> int:
+        """Integer value of a previously parsed length/counter terminal."""
+        if ref not in self.raw_values:
+            raise ParseError(
+                f"reference {ref!r} has not been parsed yet", node=node
+            )
+        value = self.raw_values[ref]
+        if not isinstance(value, int):
+            raise ParseError(f"reference {ref!r} is not an integer", node=node)
+        return value
+
+
+class Parser:
+    """Parses (obfuscated) wire messages back into logical messages."""
+
+    def __init__(self, graph: FormatGraph):
+        self.graph = graph
+        self._ref_targets = {
+            node.boundary.ref
+            for node in graph.nodes()
+            if node.boundary.kind in (BoundaryKind.LENGTH, BoundaryKind.COUNTER)
+            and node.boundary.ref is not None
+        }
+
+    # -- public API -----------------------------------------------------------
+
+    def parse(self, data: bytes, *, strict: bool = True) -> Message:
+        """Parse ``data`` into the logical message it encodes.
+
+        With ``strict=True`` (the default) trailing unconsumed bytes raise a
+        :class:`ParseError`.
+        """
+        window = Window(bytes(data))
+        context = _ParseContext()
+        self._parse_node(self.graph.root, window, context)
+        if strict and not window.at_end():
+            raise ParseError(
+                f"{window.remaining()} trailing byte(s) after the message",
+                offset=window.cursor,
+            )
+        return context.message
+
+    # -- node dispatch --------------------------------------------------------
+
+    def _parse_node(self, node: Node, win: Window, ctx: _ParseContext,
+                    *, prebounded: bool = False) -> None:
+        if node.mirrored and not prebounded:
+            region = self._extract_region(node, win, ctx)
+            self._parse_node(node, Window(region[::-1]), ctx, prebounded=True)
+            return
+        if node.type is NodeType.TERMINAL:
+            value = self._parse_terminal(node, win, ctx, prebounded=prebounded)
+            self._store_terminal(node, value, ctx)
+            return
+        inner, strict = self._composite_window(node, win, ctx, prebounded)
+        if node.type is NodeType.SEQUENCE:
+            self._parse_sequence(node, inner, ctx)
+        elif node.type is NodeType.OPTIONAL:
+            self._parse_optional(node, inner, ctx)
+        elif node.type in (NodeType.REPETITION, NodeType.TABULAR):
+            self._parse_repetition(node, inner, ctx, prebounded=prebounded)
+        else:  # pragma: no cover - exhaustive enum
+            raise ParseError(f"unknown node type {node.type!r}", node=node.name)
+        if strict and not inner.at_end():
+            raise ParseError(
+                f"{inner.remaining()} byte(s) left inside bounded node",
+                node=node.name,
+                offset=inner.cursor,
+            )
+
+    def _composite_window(self, node: Node, win: Window, ctx: _ParseContext,
+                          prebounded: bool) -> tuple[Window, bool]:
+        """Create the byte window of a composite node and tell whether it is strict."""
+        if prebounded:
+            return win, True
+        if node.boundary.kind is BoundaryKind.LENGTH:
+            length = ctx.ref_value(node.boundary.ref, node=node.name)  # type: ignore[arg-type]
+            return win.subwindow(length), True
+        return win, False
+
+    # -- terminals ------------------------------------------------------------
+
+    def _parse_terminal(self, node: Node, win: Window, ctx: _ParseContext,
+                        *, prebounded: bool = False) -> Value | None:
+        raw = self._terminal_bytes(node, win, ctx, prebounded)
+        if node.is_pad:
+            return None
+        assert node.value_kind is not None
+        decoded = decode_value(raw, node.value_kind, endian=node.endian)
+        return invert_chain(decoded, node.value_kind, node.codec_chain)
+
+    def _terminal_bytes(self, node: Node, win: Window, ctx: _ParseContext,
+                        prebounded: bool) -> bytes:
+        if prebounded:
+            return win.read_rest()
+        kind = node.boundary.kind
+        try:
+            if kind is BoundaryKind.FIXED:
+                return win.read(node.boundary.size or 0)
+            if kind is BoundaryKind.DELIMITED:
+                return win.read_until(node.boundary.delimiter or b"")
+            if kind is BoundaryKind.LENGTH:
+                length = ctx.ref_value(node.boundary.ref, node=node.name)  # type: ignore[arg-type]
+                return win.read(length)
+            return win.read_rest()
+        except ParseError as exc:
+            raise ParseError(str(exc), node=node.name, offset=win.cursor) from exc
+
+    def _store_terminal(self, node: Node, value: Value | None, ctx: _ParseContext) -> None:
+        if node.is_pad or value is None:
+            return
+        ctx.raw_values[node.name] = value
+        if node.origin is not None:
+            ctx.message.set(ctx.resolve(node.origin), value)
+
+    # -- region extraction for mirrored nodes ----------------------------------
+
+    def _extract_region(self, node: Node, win: Window, ctx: _ParseContext) -> bytes:
+        kind = node.boundary.kind
+        if kind is BoundaryKind.FIXED:
+            return win.read(node.boundary.size or 0)
+        if kind is BoundaryKind.LENGTH:
+            return win.read(ctx.ref_value(node.boundary.ref, node=node.name))  # type: ignore[arg-type]
+        if kind is BoundaryKind.END:
+            return win.read_rest()
+        size = static_size(node)
+        if size is None:
+            raise ParseError(
+                "mirrored node has no parse-time determinable extent", node=node.name
+            )
+        return win.read(size)
+
+    # -- composites -----------------------------------------------------------
+
+    def _parse_sequence(self, node: Node, win: Window, ctx: _ParseContext) -> None:
+        if node.synthesis is not None:
+            self._parse_synthesis(node, win, ctx)
+            return
+        for child in node.children:
+            self._parse_node(child, win, ctx)
+
+    def _parse_synthesis(self, node: Node, win: Window, ctx: _ParseContext) -> None:
+        shares: list[Value] = []
+        for child in node.children:
+            if child.name in self._ref_targets:
+                # Derived length prefix created by SplitCat on a variable-size
+                # terminal: parsed as a regular terminal to feed later lookups.
+                self._parse_node(child, win, ctx)
+                continue
+            shares.append(self._parse_split_child(child, win, ctx))
+        if len(shares) != 2:
+            raise ParseError(
+                f"synthesis node {node.name!r} expected two value children, "
+                f"found {len(shares)}"
+            )
+        combined = node.synthesis.combine(shares[0], shares[1])  # type: ignore[union-attr]
+        if node.origin is None:
+            raise ParseError(f"synthesis node {node.name!r} has no logical origin")
+        ctx.message.set(ctx.resolve(node.origin), combined)
+
+    def _parse_split_child(self, child: Node, win: Window, ctx: _ParseContext) -> Value:
+        if child.mirrored:
+            region = self._extract_region(child, win, ctx)
+            value = self._parse_terminal(child, Window(region[::-1]), ctx, prebounded=True)
+        else:
+            value = self._parse_terminal(child, win, ctx)
+        if value is None:  # pragma: no cover - split children are never pads
+            raise ParseError(f"split child {child.name!r} produced no value")
+        ctx.raw_values[child.name] = value
+        return value
+
+    def _parse_optional(self, node: Node, win: Window, ctx: _ParseContext) -> None:
+        if not self._optional_present(node, win, ctx):
+            return
+        self._parse_node(node.children[0], win, ctx)
+
+    def _optional_present(self, node: Node, win: Window, ctx: _ParseContext) -> bool:
+        if node.presence_ref is not None:
+            if node.presence_ref not in ctx.raw_values:
+                raise ParseError(
+                    f"presence reference {node.presence_ref!r} has not been parsed yet",
+                    node=node.name,
+                )
+            return ctx.raw_values[node.presence_ref] == node.presence_value
+        return not win.at_end()
+
+    def _parse_repetition(self, node: Node, win: Window, ctx: _ParseContext,
+                          *, prebounded: bool = False) -> None:
+        if node.origin is None:
+            raise ParseError(f"repeated node {node.name!r} has no logical origin")
+        list_path = ctx.resolve(node.origin)
+        if not ctx.message.has(list_path):
+            ctx.message.set(list_path, [])
+        child = node.children[0]
+        kind = node.boundary.kind
+
+        def parse_element(index: int) -> None:
+            ctx.index_stack.append(index)
+            try:
+                self._parse_node(child, win, ctx)
+            finally:
+                ctx.index_stack.pop()
+
+        if kind is BoundaryKind.COUNTER:
+            count = ctx.ref_value(node.boundary.ref, node=node.name)  # type: ignore[arg-type]
+            for index in range(count):
+                parse_element(index)
+            return
+        if kind is BoundaryKind.LENGTH and not prebounded:
+            # The enclosing window was already restricted by _composite_window.
+            pass
+        if kind is BoundaryKind.DELIMITED:
+            terminator = node.boundary.delimiter or b""
+            index = 0
+            while not win.at_end() and not win.starts_with(terminator):
+                parse_element(index)
+                index += 1
+            if win.starts_with(terminator):
+                win.skip(len(terminator))
+            return
+        # LENGTH / END / prebounded: consume the window.
+        index = 0
+        while not win.at_end():
+            parse_element(index)
+            index += 1
+
+
+def parse(graph: FormatGraph, data: bytes, *, strict: bool = True) -> Message:
+    """Module-level convenience wrapper around :class:`Parser`."""
+    return Parser(graph).parse(data, strict=strict)

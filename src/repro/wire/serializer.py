@@ -1,0 +1,285 @@
+"""The wire serializer.
+
+The serializer walks a (possibly obfuscated) message format graph depth-first
+and builds the obfuscated byte string directly from the *logical* message, so
+the non-obfuscated representation never exists as a contiguous buffer — this
+is the Observation counter-measure of the paper (Section VI).
+
+Transformations are executed on the fly during the traversal:
+
+* aggregation transformations (ConstAdd/Sub/Xor) are applied through each
+  terminal's codec chain,
+* Split* nodes draw a random share and emit the two wire sub-values,
+* ReadFromEnd mirrors the pieces of the affected subtree,
+* PadInsert terminals draw random bytes,
+* derived length fields are emitted as fixed-width slots and patched once the
+  covered region has been measured (two-pass assembly).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..core.boundary import BoundaryKind
+from ..core.errors import SerializationError
+from ..core.fieldpath import FieldPath
+from ..core.graph import FormatGraph
+from ..core.message import Message
+from ..core.node import Node, NodeType
+from ..core.values import ValueKind, apply_chain, encode_uint, encode_value
+from .pieces import LengthSlot, PieceList
+from .spans import FieldSpan
+
+
+class _SerializeContext:
+    """Mutable state shared by one serialization run."""
+
+    __slots__ = (
+        "message",
+        "rng",
+        "index_stack",
+        "region_lengths",
+        "length_sources",
+        "counter_sources",
+    )
+
+    def __init__(self, graph: FormatGraph, message: Message, rng: Random):
+        self.message = message
+        self.rng = rng
+        self.index_stack: list[int] = []
+        #: serialized byte length of every node instance, keyed by
+        #: (node name, repetition index context)
+        self.region_lengths: dict[tuple[str, tuple[int, ...]], int] = {}
+        #: length-field name -> node whose length it carries
+        self.length_sources: dict[str, Node] = {}
+        #: counter-field name -> node whose element count it carries
+        self.counter_sources: dict[str, Node] = {}
+        for node in graph.nodes():
+            if node.boundary.kind is BoundaryKind.LENGTH:
+                self.length_sources[node.boundary.ref] = node  # type: ignore[index]
+            elif node.boundary.kind is BoundaryKind.COUNTER:
+                self.counter_sources.setdefault(node.boundary.ref, node)  # type: ignore[arg-type]
+
+    def resolve(self, path: FieldPath) -> FieldPath:
+        """Bind the unbound repetition indices of ``path`` to the current stack."""
+        return path.resolve(self.index_stack)
+
+    def context_key(self) -> tuple[int, ...]:
+        """Current repetition index context, used to key per-instance lengths."""
+        return tuple(self.index_stack)
+
+
+class Serializer:
+    """Serializes logical messages against a message format graph."""
+
+    def __init__(self, graph: FormatGraph, *, rng: Random | None = None):
+        self.graph = graph
+        self._rng = rng if rng is not None else Random(0)
+
+    # -- public API -----------------------------------------------------------
+
+    def serialize(self, message: Message | dict) -> bytes:
+        """Serialize ``message`` into its (obfuscated) wire representation."""
+        data, _ = self.serialize_with_spans(message)
+        return data
+
+    def serialize_with_spans(self, message: Message | dict) -> tuple[bytes, list[FieldSpan]]:
+        """Serialize and also return the byte extents of every emitted wire field."""
+        logical = message if isinstance(message, Message) else Message.from_dict(message)
+        context = _SerializeContext(self.graph, logical, self._rng)
+        pieces = self._serialize_node(self.graph.root, context)
+        data, raw_spans = pieces.assemble(context.region_lengths)
+        spans = [
+            FieldSpan(node=node, origin=origin, start=start, end=end)
+            for node, origin, start, end in raw_spans
+            if node is not None
+        ]
+        return data, spans
+
+    # -- node dispatch --------------------------------------------------------
+
+    def _serialize_node(self, node: Node, ctx: _SerializeContext) -> PieceList:
+        if node.type is NodeType.TERMINAL:
+            pieces = self._serialize_terminal(node, ctx)
+        elif node.type is NodeType.SEQUENCE:
+            pieces = self._serialize_sequence(node, ctx)
+        elif node.type is NodeType.OPTIONAL:
+            pieces = self._serialize_optional(node, ctx)
+        elif node.type in (NodeType.REPETITION, NodeType.TABULAR):
+            pieces = self._serialize_repetition(node, ctx)
+        else:  # pragma: no cover - exhaustive enum
+            raise SerializationError(f"unknown node type {node.type!r}")
+        if node.mirrored:
+            pieces = pieces.mirrored()
+        ctx.region_lengths[(node.name, ctx.context_key())] = pieces.byte_length()
+        return pieces
+
+    # -- terminals ------------------------------------------------------------
+
+    def _serialize_terminal(self, node: Node, ctx: _SerializeContext,
+                            value_override: object = None) -> PieceList:
+        pieces = PieceList()
+        if node.is_pad:
+            size = node.boundary.size or 0
+            pieces.add_bytes(bytes(ctx.rng.randrange(256) for _ in range(size)),
+                             node=node.name, origin=None)
+            return pieces
+        if node.name in ctx.length_sources and value_override is None:
+            pieces.add_slot(
+                LengthSlot(
+                    node=node.name,
+                    target=ctx.length_sources[node.name].name,
+                    width=node.boundary.size or 0,
+                    endian=node.endian,
+                    codec_chain=node.codec_chain,
+                    mirrored=False,
+                    origin=node.origin,
+                    context=ctx.context_key(),
+                )
+            )
+            return pieces
+        if node.name in ctx.counter_sources and value_override is None:
+            count = self._counter_value(node, ctx)
+            encoded = self._encode_terminal_value(node, count)
+            pieces.add_bytes(encoded, node=node.name, origin=node.origin)
+            self._append_delimiter(node, pieces)
+            return pieces
+        value = value_override
+        if value is None:
+            value = self._logical_value(node, ctx)
+        encoded = self._encode_terminal_value(node, value)
+        pieces.add_bytes(encoded, node=node.name, origin=node.origin)
+        self._append_delimiter(node, pieces)
+        return pieces
+
+    def _logical_value(self, node: Node, ctx: _SerializeContext) -> object:
+        if node.origin is None:
+            raise SerializationError(
+                f"terminal {node.name!r} carries no logical origin and no derived value"
+            )
+        value = ctx.message.get(ctx.resolve(node.origin))
+        if value is None:
+            raise SerializationError(
+                f"logical message is missing field {ctx.resolve(node.origin)} "
+                f"(terminal {node.name!r})"
+            )
+        return value
+
+    def _counter_value(self, node: Node, ctx: _SerializeContext) -> int:
+        source = ctx.counter_sources[node.name]
+        if source.origin is None:
+            raise SerializationError(
+                f"counted node {source.name!r} carries no logical origin"
+            )
+        return ctx.message.list_length(ctx.resolve(source.origin))
+
+    def _encode_terminal_value(self, node: Node, value: object) -> bytes:
+        assert node.value_kind is not None
+        obfuscated = apply_chain(value, node.value_kind, node.codec_chain)
+        size = node.boundary.size if node.boundary.kind is BoundaryKind.FIXED else None
+        try:
+            encoded = encode_value(obfuscated, node.value_kind, size=size, endian=node.endian)
+        except SerializationError as exc:
+            raise SerializationError(f"terminal {node.name!r}: {exc}") from exc
+        if node.boundary.kind is BoundaryKind.DELIMITED:
+            delimiter = node.boundary.delimiter or b""
+            if delimiter in encoded:
+                raise SerializationError(
+                    f"value of delimited terminal {node.name!r} contains its "
+                    f"delimiter {delimiter!r}"
+                )
+        return encoded
+
+    @staticmethod
+    def _append_delimiter(node: Node, pieces: PieceList) -> None:
+        if node.boundary.kind is BoundaryKind.DELIMITED:
+            pieces.add_bytes(node.boundary.delimiter or b"")
+
+    # -- composites -----------------------------------------------------------
+
+    def _serialize_sequence(self, node: Node, ctx: _SerializeContext) -> PieceList:
+        if node.synthesis is not None:
+            return self._serialize_synthesis(node, ctx)
+        pieces = PieceList()
+        for child in node.children:
+            pieces.extend(self._serialize_node(child, ctx))
+        return pieces
+
+    def _serialize_synthesis(self, node: Node, ctx: _SerializeContext) -> PieceList:
+        if node.origin is None:
+            raise SerializationError(f"synthesis node {node.name!r} has no logical origin")
+        value = ctx.message.get(ctx.resolve(node.origin))
+        if value is None:
+            raise SerializationError(
+                f"logical message is missing field {ctx.resolve(node.origin)} "
+                f"(synthesis node {node.name!r})"
+            )
+        shares = list(node.synthesis.split(value, ctx.rng, split_at=node.split_at))
+        pieces = PieceList()
+        for child in node.children:
+            if child.name in ctx.length_sources:
+                # Derived length prefix created by SplitCat on a variable-size
+                # terminal: emitted as a regular length slot.
+                pieces.extend(self._serialize_node(child, ctx))
+                continue
+            if not shares:
+                raise SerializationError(
+                    f"synthesis node {node.name!r} has more value children than shares"
+                )
+            pieces.extend(self._serialize_split_child(child, shares.pop(0), ctx))
+        if shares:
+            raise SerializationError(
+                f"synthesis node {node.name!r} has fewer value children than shares"
+            )
+        return pieces
+
+    def _serialize_split_child(self, child: Node, value: object,
+                               ctx: _SerializeContext) -> PieceList:
+        pieces = self._serialize_terminal(child, ctx, value_override=value)
+        if child.mirrored:
+            pieces = pieces.mirrored()
+        ctx.region_lengths[(child.name, ctx.context_key())] = pieces.byte_length()
+        return pieces
+
+    def _serialize_optional(self, node: Node, ctx: _SerializeContext) -> PieceList:
+        if not self._optional_present(node, ctx):
+            return PieceList()
+        return self._serialize_node(node.children[0], ctx)
+
+    def _optional_present(self, node: Node, ctx: _SerializeContext) -> bool:
+        if node.presence_ref is not None:
+            reference = self.graph.find(node.presence_ref)
+            if reference is not None and reference.origin is not None:
+                value = ctx.message.get(ctx.resolve(reference.origin))
+                return value == node.presence_value
+        if node.origin is None:
+            return False
+        return ctx.message.get(ctx.resolve(node.origin)) is not None
+
+    def _serialize_repetition(self, node: Node, ctx: _SerializeContext) -> PieceList:
+        if node.origin is None:
+            raise SerializationError(f"repeated node {node.name!r} has no logical origin")
+        count = ctx.message.list_length(ctx.resolve(node.origin))
+        pieces = PieceList()
+        child = node.children[0]
+        for index in range(count):
+            ctx.index_stack.append(index)
+            try:
+                pieces.extend(self._serialize_node(child, ctx))
+            finally:
+                ctx.index_stack.pop()
+        if node.type is NodeType.REPETITION and node.boundary.kind is BoundaryKind.DELIMITED:
+            pieces.add_bytes(node.boundary.delimiter or b"")
+        return pieces
+
+
+def serialize(graph: FormatGraph, message: Message | dict, *, rng: Random | None = None) -> bytes:
+    """Module-level convenience wrapper around :class:`Serializer`."""
+    return Serializer(graph, rng=rng).serialize(message)
+
+
+def serialize_with_spans(
+    graph: FormatGraph, message: Message | dict, *, rng: Random | None = None
+) -> tuple[bytes, list[FieldSpan]]:
+    """Serialize and return the emitted wire field spans."""
+    return Serializer(graph, rng=rng).serialize_with_spans(message)

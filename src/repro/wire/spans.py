@@ -1,0 +1,49 @@
+"""Field spans: byte extents of wire fields inside a serialized message.
+
+Spans are the ground truth used by the protocol reverse engineering (PRE)
+substrate: they give, for each terminal of the (possibly obfuscated) graph,
+the byte range it occupies in a concrete serialized message.  The resilience
+experiment (paper Section VII.D) scores the field boundaries inferred by the
+PRE engine against these spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fieldpath import FieldPath
+
+
+@dataclass(frozen=True)
+class FieldSpan:
+    """Byte extent of one wire field occurrence inside a serialized message."""
+
+    node: str
+    origin: FieldPath | None
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "FieldSpan") -> bool:
+        """True when the two spans share at least one byte."""
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self) -> str:
+        origin = str(self.origin) if self.origin is not None else "-"
+        return f"FieldSpan({self.node}, {origin}, [{self.start}, {self.end}))"
+
+
+def boundaries(spans: list[FieldSpan], *, total_length: int | None = None) -> set[int]:
+    """Set of field boundary offsets implied by a list of spans.
+
+    A boundary is the start offset of a field (message start and end excluded,
+    since every segmentation trivially agrees on them).
+    """
+    cut_points = {span.start for span in spans} | {span.end for span in spans}
+    cut_points.discard(0)
+    if total_length is not None:
+        cut_points.discard(total_length)
+    return cut_points

@@ -1,0 +1,49 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.protocols import http, modbus
+
+
+@pytest.fixture
+def rng() -> Random:
+    """Deterministic random generator for message workloads."""
+    return Random(12345)
+
+
+@pytest.fixture
+def modbus_request_graph():
+    return modbus.request_graph()
+
+
+@pytest.fixture
+def modbus_response_graph():
+    return modbus.response_graph()
+
+
+@pytest.fixture
+def http_request_graph():
+    return http.request_graph()
+
+
+@pytest.fixture
+def http_response_graph():
+    return http.response_graph()
+
+
+PROTOCOL_CASES = [
+    ("modbus_request", modbus.request_graph, modbus.random_request),
+    ("modbus_response", modbus.response_graph, modbus.random_response),
+    ("http_request", http.request_graph, http.random_request),
+    ("http_response", http.response_graph, http.random_response),
+]
+
+
+@pytest.fixture(params=PROTOCOL_CASES, ids=[case[0] for case in PROTOCOL_CASES])
+def protocol_case(request):
+    """(name, graph factory, message generator) for each evaluated protocol graph."""
+    return request.param

@@ -1,0 +1,244 @@
+"""Tests of boundaries, nodes and the format graph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Boundary,
+    BoundaryKind,
+    FieldPath,
+    FormatGraph,
+    GraphError,
+    Node,
+    NodeType,
+    ValueKind,
+    build_graph,
+    fixed_bytes,
+    optional,
+    remaining_bytes,
+    repetition,
+    sequence,
+    tabular,
+    uint,
+)
+from repro.core.graph import is_greedy, parse_window_known, static_size
+
+
+class TestBoundary:
+    def test_constructors(self):
+        assert Boundary.fixed(4).kind is BoundaryKind.FIXED
+        assert Boundary.delimited(b"\r\n").delimiter == b"\r\n"
+        assert Boundary.length("len").ref == "len"
+        assert Boundary.counter("count").ref == "count"
+        assert Boundary.end().kind is BoundaryKind.END
+        assert Boundary.delegated().kind is BoundaryKind.DELEGATED
+
+    def test_fixed_requires_size(self):
+        with pytest.raises(GraphError):
+            Boundary(BoundaryKind.FIXED)
+
+    def test_fixed_rejects_negative_size(self):
+        with pytest.raises(GraphError):
+            Boundary.fixed(-1)
+
+    def test_delimited_requires_delimiter(self):
+        with pytest.raises(GraphError):
+            Boundary(BoundaryKind.DELIMITED)
+
+    def test_length_requires_ref(self):
+        with pytest.raises(GraphError):
+            Boundary(BoundaryKind.LENGTH)
+
+    def test_end_takes_no_parameter(self):
+        with pytest.raises(GraphError):
+            Boundary(BoundaryKind.END, size=1)
+
+    def test_fixed_rejects_extra_parameters(self):
+        with pytest.raises(GraphError):
+            Boundary(BoundaryKind.FIXED, size=1, ref="x")
+
+    def test_with_ref(self):
+        assert Boundary.length("a").with_ref("b").ref == "b"
+        with pytest.raises(GraphError):
+            Boundary.fixed(1).with_ref("b")
+
+    def test_describe(self):
+        assert Boundary.fixed(2).describe() == "fixed(2)"
+        assert "length" in Boundary.length("x").describe()
+        assert Boundary.end().describe() == "end"
+
+
+class TestNode:
+    def test_terminal_requires_value_kind(self):
+        with pytest.raises(GraphError):
+            Node("x", NodeType.TERMINAL, Boundary.fixed(1))
+
+    def test_terminal_rejects_children(self):
+        with pytest.raises(GraphError):
+            Node("x", NodeType.TERMINAL, Boundary.fixed(1), value_kind=ValueKind.UINT,
+                 children=[uint("y", 1)])
+
+    def test_composite_rejects_value_kind(self):
+        with pytest.raises(GraphError):
+            Node("x", NodeType.SEQUENCE, Boundary.delegated(), value_kind=ValueKind.UINT)
+
+    def test_child_management(self):
+        parent = sequence("p", [uint("a", 1), uint("b", 1)])
+        extra = uint("c", 1)
+        parent.add_child(extra)
+        assert [child.name for child in parent.children] == ["a", "b", "c"]
+        parent.insert_child(0, uint("z", 1))
+        assert parent.children[0].name == "z"
+        assert parent.index_of(extra) == 3
+        parent.remove_child(extra)
+        assert extra.parent is None
+        replacement = uint("r", 1)
+        parent.replace_child(parent.children[0], replacement)
+        assert parent.children[0] is replacement
+
+    def test_index_of_missing_child_raises(self):
+        parent = sequence("p", [uint("a", 1)])
+        with pytest.raises(GraphError):
+            parent.index_of(uint("other", 1))
+
+    def test_iteration_and_find(self):
+        graph = sequence("root", [uint("a", 1), sequence("inner", [uint("b", 1)])])
+        names = [node.name for node in graph.iter_subtree()]
+        assert names == ["root", "a", "inner", "b"]
+        assert graph.find("b").name == "b"
+        assert graph.find("missing") is None
+
+    def test_ancestors_depth_root(self):
+        graph = sequence("root", [sequence("inner", [uint("leaf", 1)])])
+        leaf = graph.find("leaf")
+        assert [ancestor.name for ancestor in leaf.ancestors()] == ["inner", "root"]
+        assert leaf.depth() == 2
+        assert leaf.root() is graph
+
+    def test_clone_is_deep_and_supports_rename(self):
+        original = sequence("root", [uint("a", 2)])
+        copy = original.clone()
+        copy.find("a").boundary = Boundary.fixed(4)
+        assert original.find("a").boundary.size == 2
+        renamed = original.clone(rename=lambda name: f"{name}_x")
+        assert renamed.name == "root_x"
+        assert renamed.children[0].name == "a_x"
+
+    def test_referenced_names(self):
+        node = Node("n", NodeType.TERMINAL, Boundary.length("len"), value_kind=ValueKind.BYTES)
+        assert node.referenced_names() == ["len"]
+        opt = optional("o", uint("v", 1), presence_ref="flag", presence_value=1)
+        assert "flag" in opt.referenced_names()
+
+    def test_describe_mentions_metadata(self):
+        node = uint("x", 2)
+        node.mirrored = True
+        assert "mirrored" in node.describe()
+        assert "x" in repr(node)
+
+
+class TestFormatGraph:
+    def _graph(self):
+        return build_graph(sequence("root", [uint("a", 1), uint("b", 2)]), "demo")
+
+    def test_duplicate_names_detected(self):
+        graph = FormatGraph(sequence("root", [uint("a", 1), uint("a", 1)]))
+        with pytest.raises(GraphError):
+            graph.node_map()
+
+    def test_root_with_parent_rejected(self):
+        parent = sequence("p", [uint("a", 1)])
+        with pytest.raises(GraphError):
+            FormatGraph(parent.children[0])
+
+    def test_find_and_require(self):
+        graph = self._graph()
+        assert graph.find("a").name == "a"
+        assert graph.require("b").name == "b"
+        with pytest.raises(GraphError):
+            graph.require("zz")
+
+    def test_pre_order_index_matches_serialization_order(self):
+        graph = self._graph()
+        order = graph.pre_order_index()
+        assert order["root"] < order["a"] < order["b"]
+
+    def test_ref_targets(self):
+        root = sequence("root", [uint("len", 2), fixed_bytes("data", 4)])
+        root.children[1].boundary = Boundary.length("len")
+        graph = build_graph(root, "demo")
+        assert graph.is_ref_target("len")
+        assert [node.name for node in graph.referencing_nodes("len")] == ["data"]
+
+    def test_fresh_name_is_unique(self):
+        graph = self._graph()
+        name = graph.fresh_name("a")
+        assert name not in {node.name for node in graph.nodes()}
+
+    def test_clone_independent(self):
+        graph = self._graph()
+        copy = graph.clone()
+        copy.require("a").boundary = Boundary.fixed(9)
+        assert graph.require("a").boundary.size == 1
+
+    def test_stats(self):
+        stats = self._graph().stats()
+        assert stats.node_count == 3
+        assert stats.terminal_count == 2
+        assert stats.composite_count == 1
+        assert stats.max_depth == 1
+
+    def test_terminals_and_composites(self):
+        graph = self._graph()
+        assert {node.name for node in graph.terminals()} == {"a", "b"}
+        assert {node.name for node in graph.composites()} == {"root"}
+
+    def test_repr(self):
+        assert "demo" in repr(self._graph())
+
+
+class TestSizeReasoning:
+    def test_static_size_of_fixed_terminal(self):
+        assert static_size(uint("a", 4)) == 4
+
+    def test_static_size_of_delimited_terminal_is_unknown(self):
+        from repro.core import delimited_text
+
+        assert static_size(delimited_text("a", b" ")) is None
+
+    def test_static_size_of_sequence_sums_children(self):
+        assert static_size(sequence("s", [uint("a", 2), uint("b", 3)])) == 5
+
+    def test_static_size_of_repetition_is_unknown(self):
+        assert static_size(repetition("r", uint("a", 1))) is None
+
+    def test_parse_window_known(self):
+        assert parse_window_known(uint("a", 2))
+        assert parse_window_known(remaining_bytes("rest"))
+        assert parse_window_known(sequence("s", [uint("a", 2)]))
+        # an END-bounded repetition covers the rest of the window: extent known
+        assert parse_window_known(repetition("r", uint("a", 1), boundary=Boundary.end()))
+        # a terminator-delimited repetition has no up-front extent
+        assert not parse_window_known(
+            repetition("r2", uint("a2", 1), boundary=Boundary.delimited(b"\r\n"))
+        )
+
+    def test_is_greedy_terminals(self):
+        assert is_greedy(remaining_bytes("rest"))
+        assert not is_greedy(uint("a", 2))
+
+    def test_is_greedy_optional(self):
+        assert is_greedy(optional("o", uint("a", 1)))
+        assert not is_greedy(optional("o", uint("a", 1), presence_ref="flag", presence_value=1))
+        assert is_greedy(optional("o", remaining_bytes("rest"), presence_ref="flag",
+                                  presence_value=1))
+
+    def test_is_greedy_sequence_propagates(self):
+        assert is_greedy(sequence("s", [uint("a", 1), remaining_bytes("rest")]))
+        assert not is_greedy(sequence("s", [uint("a", 1)]))
+
+    def test_is_greedy_repetition_and_tabular(self):
+        assert is_greedy(repetition("r", uint("a", 1), boundary=Boundary.end()))
+        assert not is_greedy(repetition("r", uint("a", 1), boundary=Boundary.delimited(b"\r\n")))
+        assert not is_greedy(tabular("t", uint("a", 1), counter="c"))

@@ -1,0 +1,304 @@
+"""Tests of the logical message model, the graph builder and graph validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Boundary,
+    FieldPath,
+    GraphError,
+    Message,
+    MessageError,
+    Node,
+    NodeType,
+    Synthesis,
+    SynthesisOp,
+    ValueKind,
+    ValueOp,
+    ValueOpKind,
+    build_graph,
+    delimited_text,
+    fixed_bytes,
+    optional,
+    remaining_bytes,
+    repetition,
+    sequence,
+    tabular,
+    uint,
+    validate_graph,
+)
+from repro.core.builder import assign_origins
+from repro.core.graph import FormatGraph
+
+
+class TestMessage:
+    def test_set_and_get_nested(self):
+        message = Message()
+        message.set("a.b.c", 5)
+        assert message.get("a.b.c") == 5
+        assert message.get("a.b") == {"c": 5}
+
+    def test_get_missing_returns_default(self):
+        message = Message()
+        assert message.get("x.y") is None
+        assert message.get("x.y", 7) == 7
+
+    def test_has_distinguishes_missing_from_none(self):
+        message = Message()
+        message.set("a", None)
+        assert message.has("a")
+        assert not message.has("b")
+
+    def test_list_auto_extension(self):
+        message = Message()
+        message.set("items[2].name", "c")
+        assert message.get("items") == [None, None, {"name": "c"}]
+        message.set("items[0].name", "a")
+        assert message.get("items[0].name") == "a"
+
+    def test_scalar_list_assignment(self):
+        message = Message()
+        message.set("data[1]", 9)
+        assert message.get("data") == [None, 9]
+
+    def test_set_rejects_unbound_index(self):
+        with pytest.raises(MessageError):
+            Message().set("items[*].name", 1)
+
+    def test_set_rejects_root(self):
+        with pytest.raises(MessageError):
+            Message().set(FieldPath(), 1)
+
+    def test_set_type_mismatch(self):
+        message = Message()
+        message.set("a", [1, 2])
+        with pytest.raises(MessageError):
+            message.set("a.b", 1)
+
+    def test_delete(self):
+        message = Message.from_dict({"a": {"b": 1}, "items": [1, 2]})
+        message.delete("a.b")
+        assert not message.has("a.b")
+        message.delete("items[0]")
+        assert message.get("items") == [None, 2]
+        message.delete("missing")  # no-op
+
+    def test_list_length(self):
+        message = Message.from_dict({"items": [1, 2, 3]})
+        assert message.list_length("items") == 3
+        assert message.list_length("absent") == 0
+        message.set("scalar", 5)
+        with pytest.raises(MessageError):
+            message.list_length("scalar")
+
+    def test_copy_and_to_dict_are_deep(self):
+        message = Message.from_dict({"a": {"b": [1]}})
+        copy = message.copy()
+        copy.set("a.b[0]", 99)
+        assert message.get("a.b[0]") == 1
+        exported = message.to_dict()
+        exported["a"]["b"][0] = 50
+        assert message.get("a.b[0]") == 1
+
+    def test_leaves(self):
+        message = Message.from_dict({"a": 1, "items": [{"x": 2}], "b": {"c": 3}})
+        leaves = {str(path): value for path, value in message.leaves()}
+        assert leaves == {"a": 1, "items[0].x": 2, "b.c": 3}
+
+    def test_equality(self):
+        assert Message.from_dict({"a": 1}) == Message.from_dict({"a": 1})
+        assert Message.from_dict({"a": 1}) == {"a": 1}
+        assert Message.from_dict({"a": 1}) != Message.from_dict({"a": 2})
+
+    def test_messages_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Message())
+
+
+class TestOriginAssignment:
+    def test_sequence_members_get_dotted_paths(self):
+        graph = build_graph(
+            sequence("root", [uint("a", 1), sequence("grp", [uint("b", 1)])]), "demo"
+        )
+        assert str(graph.require("a").origin) == "a"
+        assert str(graph.require("b").origin) == "grp.b"
+
+    def test_repetition_children_are_transparent_with_index(self):
+        graph = build_graph(
+            sequence(
+                "root",
+                [repetition("items", sequence("item", [uint("x", 1)]),
+                            boundary=Boundary.end())],
+            ),
+            "demo",
+        )
+        assert str(graph.require("items").origin) == "items"
+        assert str(graph.require("x").origin) == "items[*].x"
+        assert str(graph.require("item").origin) == "items[*]"
+
+    def test_optional_children_are_transparent(self):
+        graph = build_graph(
+            sequence("root", [uint("flag", 1),
+                              optional("body", remaining_bytes("content"))]),
+            "demo",
+        )
+        assert str(graph.require("content").origin) == "body"
+
+    def test_derived_length_fields_have_no_origin(self):
+        root = sequence("root", [uint("len", 2),
+                                 fixed_bytes("data", 4)])
+        root.children[1].boundary = Boundary.length("len")
+        graph = build_graph(root, "demo")
+        assert graph.require("len").origin is None
+        assert graph.require("data").origin is not None
+
+    def test_counter_fields_have_no_origin(self):
+        graph = build_graph(
+            sequence("root", [uint("count", 1),
+                              tabular("items", uint("value", 2), counter="count")]),
+            "demo",
+        )
+        assert graph.require("count").origin is None
+
+
+class TestValidation:
+    def _valid(self):
+        return build_graph(sequence("root", [uint("a", 1)]), "demo")
+
+    def test_valid_graph_passes(self):
+        validate_graph(self._valid())
+
+    def test_sequence_requires_children(self):
+        graph = FormatGraph(Node("root", NodeType.SEQUENCE, Boundary.delegated(),
+                                 children=[uint("a", 1)]))
+        graph.root.children = []
+        with pytest.raises(GraphError):
+            validate_graph(graph)
+
+    def test_optional_requires_single_child(self):
+        node = optional("o", uint("a", 1))
+        node.add_child(uint("b", 1))
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [node])))
+
+    def test_uint_requires_fixed_boundary(self):
+        bad = Node("u", NodeType.TERMINAL, Boundary.end(), value_kind=ValueKind.UINT)
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [bad])))
+
+    def test_tabular_requires_counter_boundary(self):
+        bad = Node("t", NodeType.TABULAR, Boundary.end(), children=[uint("a", 1)])
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [uint("c", 1), bad])))
+
+    def test_counter_reference_must_exist(self):
+        graph = FormatGraph(sequence("root", [tabular("t", uint("a", 1), counter="nope")]))
+        with pytest.raises(GraphError):
+            validate_graph(graph)
+
+    def test_reference_must_precede_user(self):
+        data = fixed_bytes("data", 4)
+        data.boundary = Boundary.length("len")
+        root = sequence("root", [data, uint("len", 2)])
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(root))
+
+    def test_reference_must_be_terminal(self):
+        inner = sequence("inner", [uint("a", 1)])
+        data = fixed_bytes("data", 4)
+        data.boundary = Boundary.length("inner")
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [inner, data])))
+
+    def test_reference_cannot_cross_repetition(self):
+        counter_inside = repetition("rep", uint("len", 2), boundary=Boundary.end())
+        data = fixed_bytes("data", 4)
+        data.boundary = Boundary.length("len")
+        # the repetition is greedy, so place the data before it to isolate the scoping error
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [counter_inside, data])))
+
+    def test_length_field_must_be_uint(self):
+        length = delimited_text("len", b" ")
+        data = fixed_bytes("data", 4)
+        data.boundary = Boundary.length("len")
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [length, data])))
+
+    def test_length_field_cannot_be_shared(self):
+        length = uint("len", 2)
+        first = fixed_bytes("a", 4)
+        first.boundary = Boundary.length("len")
+        second = fixed_bytes("b", 4)
+        second.boundary = Boundary.length("len")
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [length, first, second])))
+
+    def test_counter_can_be_shared(self):
+        count = uint("count", 1)
+        first = tabular("t1", uint("x", 1), counter="count")
+        second = tabular("t2", uint("y", 1), counter="count")
+        graph = build_graph(sequence("root", [count, first, second]), "demo")
+        validate_graph(graph)
+
+    def test_greedy_node_must_be_last(self):
+        root = sequence("root", [remaining_bytes("rest"), uint("after", 1)])
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(root))
+
+    def test_greedy_node_allowed_in_tail(self):
+        graph = build_graph(sequence("root", [uint("a", 1), remaining_bytes("rest")]), "demo")
+        validate_graph(graph)
+
+    def test_greedy_inside_length_window_is_allowed(self):
+        length = uint("len", 2)
+        inner = sequence("inner", [remaining_bytes("rest")], boundary=Boundary.length("len"))
+        graph = build_graph(sequence("root", [length, inner, uint("after", 1)]), "demo")
+        validate_graph(graph)
+
+    def test_mirrored_delimited_rejected(self):
+        node = delimited_text("t", b" ")
+        node.mirrored = True
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [node])))
+
+    def test_bytewise_chain_on_delimited_rejected(self):
+        node = delimited_text("t", b" ")
+        node.codec_chain = (ValueOp(ValueOpKind.XOR, 3, bytewise=True),)
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [node])))
+
+    def test_integer_chain_width_must_match(self):
+        node = uint("t", 2)
+        node.codec_chain = (ValueOp(ValueOpKind.ADD, 3, bytewise=False, width=1),)
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [node])))
+
+    def test_synthesis_requires_two_value_children(self):
+        bad = Node(
+            "syn",
+            NodeType.SEQUENCE,
+            Boundary.delegated(),
+            children=[uint("only", 2)],
+            origin=FieldPath.parse("field"),
+            synthesis=Synthesis(SynthesisOp.ADD, ValueKind.UINT, width=2),
+        )
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [bad])))
+
+    def test_pad_with_origin_rejected(self):
+        pad = Node("p", NodeType.TERMINAL, Boundary.fixed(2), value_kind=ValueKind.BYTES,
+                   is_pad=True, origin=FieldPath.parse("p"))
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(sequence("root", [pad])))
+
+    def test_stale_parent_link_detected(self):
+        root = sequence("root", [uint("a", 1)])
+        root.children[0].parent = None
+        with pytest.raises(GraphError):
+            validate_graph(FormatGraph(root))
+
+    def test_protocol_graphs_validate(self, protocol_case):
+        _, graph_factory, _ = protocol_case
+        validate_graph(graph_factory())

@@ -1,0 +1,188 @@
+"""Tests of the potency/cost metrics and the analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import linear_regression, mean, percentile, render_series, render_table, summarize
+from repro.codegen import GeneratedCodec, generate_module
+from repro.metrics import (
+    call_graph_depth,
+    call_graph_size,
+    code_lines,
+    count_lines,
+    count_structs,
+    extract_call_graph,
+    measure_graph,
+    measure_message,
+    measure_messages,
+    measure_source,
+    struct_count,
+)
+from repro.metrics.callgraph import restrict_call_graph
+from repro.metrics.cost import summarize as summarize_cost
+from repro.metrics.loc import generated_code_lines
+from repro.protocols import http, modbus
+from repro.transforms import Obfuscator
+
+SAMPLE = '''
+# a comment
+
+def parse(data):
+    return _inner(data)
+
+def _inner(data):
+    helper()
+    return data
+
+def helper():
+    pass
+
+class S_demo:
+    pass
+
+class Helper:
+    pass
+'''
+
+
+class TestLoc:
+    def test_count_lines_breakdown(self):
+        counts = count_lines("a = 1\n\n# comment\nb = 2\n")
+        assert counts.total == 4
+        assert counts.code == 2
+        assert counts.comment == 1
+        assert counts.blank == 1
+
+    def test_code_lines(self):
+        assert code_lines("a = 1\n# c\n") == 1
+
+    def test_generated_code_lines_with_marker(self):
+        source = "x = 1\n# === marker ===\ny = 2\nz = 3\n"
+        assert generated_code_lines(source, "# === marker ===") == 2
+        assert generated_code_lines(source, "# missing") == code_lines(source)
+
+
+class TestStructsAndCallGraph:
+    def test_struct_count_only_counts_ast_structs(self):
+        counts = count_structs(SAMPLE)
+        assert counts.ast_structs == 1
+        assert counts.helper_classes == 1
+        assert counts.total == 2
+        assert struct_count(SAMPLE) == 1
+
+    def test_call_graph_size_and_depth(self):
+        graph = extract_call_graph(SAMPLE)
+        assert graph.size == 3  # parse -> _inner -> helper
+        assert graph.depth == 3
+        assert call_graph_size(SAMPLE) == 3
+        assert call_graph_depth(SAMPLE) == 3
+
+    def test_call_graph_handles_unknown_entry(self):
+        graph = extract_call_graph(SAMPLE, entry="missing")
+        assert graph.size == 0
+        assert graph.depth == 0
+
+    def test_restrict_call_graph_contracts_helpers(self):
+        graph = extract_call_graph(SAMPLE)
+        restricted = restrict_call_graph(graph, ("_par_",), keep=("parse", "_inner"))
+        assert restricted.size == 2  # parse -> _inner (helper contracted away)
+
+
+class TestPotency:
+    def test_measure_source_on_generated_library(self, http_request_graph):
+        metrics = measure_source(generate_module(http_request_graph))
+        assert metrics.lines > 0
+        assert metrics.structs == http_request_graph.stats().node_count
+        assert metrics.call_graph_size >= http_request_graph.stats().node_count
+        assert metrics.call_graph_depth >= 3
+
+    def test_measure_graph_convenience(self, http_request_graph):
+        assert measure_graph(http_request_graph) == measure_source(
+            generate_module(http_request_graph)
+        )
+
+    def test_potency_grows_with_obfuscation(self, http_request_graph):
+        reference = measure_graph(http_request_graph)
+        obfuscated = measure_graph(Obfuscator(seed=0).obfuscate(http_request_graph, 2).graph)
+        normalized = obfuscated.normalized(reference)
+        assert normalized.lines > 1.0
+        assert normalized.structs > 1.0
+        assert normalized.call_graph_size > 1.0
+        assert normalized.call_graph_depth >= 1.0
+        assert set(normalized.as_dict()) == {
+            "lines", "structs", "call_graph_size", "call_graph_depth"
+        }
+
+    def test_normalization_against_zero_reference(self):
+        from repro.metrics import PotencyMetrics
+
+        zero = PotencyMetrics(lines=0, structs=0, call_graph_size=0, call_graph_depth=0)
+        assert PotencyMetrics(1, 1, 1, 1).normalized(zero).lines == 0.0
+
+
+class TestCost:
+    def test_measure_message_and_summary(self, modbus_request_graph, rng):
+        codec = GeneratedCodec(modbus_request_graph, seed=0)
+        messages = [modbus.random_request(rng) for _ in range(4)]
+        samples = measure_messages(codec, messages)
+        assert len(samples) == 4
+        assert all(sample.buffer_size > 0 for sample in samples)
+        summary = summarize_cost(samples)
+        assert summary.samples == 4
+        assert summary.parse_ms >= 0.0 and summary.serialize_ms >= 0.0
+
+    def test_empty_summary(self):
+        summary = summarize_cost([])
+        assert summary.samples == 0
+        assert summary.buffer_size == 0.0
+
+    def test_measure_single_message(self, http_request_graph, rng):
+        codec = GeneratedCodec(http_request_graph, seed=0)
+        sample = measure_message(codec, http.random_request(rng))
+        assert sample.buffer_size == len(codec.serialize(http.random_request(rng))) or sample.buffer_size > 0
+
+
+class TestAnalysis:
+    def test_summary_and_format(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.format(1) == "2.0[1.0; 3.0]"
+
+    def test_empty_summary(self):
+        assert summarize([]).count == 0
+
+    def test_mean_and_percentile(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+        assert percentile([1, 2, 3, 4], 0.0) == 1
+        assert percentile([1, 2, 3, 4], 1.0) == 4
+        assert percentile([], 0.5) == 0.0
+
+    def test_linear_regression_perfect_fit(self):
+        fit = linear_regression([1, 2, 3, 4], [2, 4, 6, 8])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(0.0)
+        assert fit.correlation == pytest.approx(1.0)
+        assert fit.predict(5) == pytest.approx(10.0)
+        assert "r =" in fit.format()
+
+    def test_linear_regression_degenerate_inputs(self):
+        assert linear_regression([], []).samples == 0
+        assert linear_regression([1], [5]).intercept == 5
+        assert linear_regression([2, 2, 2], [1, 2, 3]).slope == 0.0
+        assert linear_regression([1, 2, 3], [5, 5, 5]).correlation == 0.0
+
+    def test_linear_regression_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_regression([1, 2], [1])
+
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        assert "T" in text and "bb" in text and "30" in text
+
+    def test_render_series(self):
+        text = render_series("demo", [1, 2], [3, 4])
+        assert "demo" in text and "x: 1, 2" in text

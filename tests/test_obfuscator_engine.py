@@ -1,0 +1,128 @@
+"""Tests of the obfuscation engine (random selection, passes, invariants)."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core import Message, TransformError, validate_graph
+from repro.protocols import http, modbus
+from repro.transforms import Obfuscator, family, obfuscate
+from repro.wire import WireCodec
+
+
+class TestObfuscator:
+    def test_zero_passes_returns_untouched_copy(self, http_request_graph):
+        result = Obfuscator(seed=0).obfuscate(http_request_graph, 0)
+        assert result.applied_count == 0
+        assert result.graph is not http_request_graph
+        assert [n.name for n in result.graph.nodes()] == [
+            n.name for n in http_request_graph.nodes()
+        ]
+
+    def test_negative_passes_rejected(self, http_request_graph):
+        with pytest.raises(TransformError):
+            Obfuscator(seed=0).obfuscate(http_request_graph, -1)
+
+    def test_original_graph_not_mutated(self, modbus_request_graph):
+        before = [n.name for n in modbus_request_graph.nodes()]
+        Obfuscator(seed=0).obfuscate(modbus_request_graph, 2)
+        assert [n.name for n in modbus_request_graph.nodes()] == before
+
+    def test_obfuscated_graph_validates(self, protocol_case):
+        _, graph_factory, _ = protocol_case
+        for seed in range(3):
+            result = Obfuscator(seed=seed).obfuscate(graph_factory(), 2)
+            validate_graph(result.graph)
+
+    def test_deterministic_given_seed(self, http_request_graph):
+        first = Obfuscator(seed=7).obfuscate(http_request_graph, 2)
+        second = Obfuscator(seed=7).obfuscate(http.request_graph(), 2)
+        assert [str(r) for r in first.records] == [str(r) for r in second.records]
+
+    def test_different_seeds_differ(self, http_request_graph):
+        first = Obfuscator(seed=1).obfuscate(http_request_graph, 2)
+        second = Obfuscator(seed=2).obfuscate(http.request_graph(), 2)
+        assert [str(r) for r in first.records] != [str(r) for r in second.records]
+
+    def test_applied_count_grows_with_passes(self, modbus_request_graph):
+        counts = [
+            Obfuscator(seed=3).obfuscate(modbus.request_graph(), passes).applied_count
+            for passes in (1, 2, 3)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_growth_is_at_least_linear_as_in_paper(self, modbus_request_graph):
+        """The paper reports super-linear growth of applied transformations with the
+        per-node parameter; at minimum the growth must not flatten below linear."""
+        counts = [
+            Obfuscator(seed=3).obfuscate(modbus.request_graph(), passes).applied_count
+            for passes in (1, 2, 3, 4)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] >= 3.2 * counts[0]
+
+    def test_node_count_grows(self, http_request_graph):
+        result = Obfuscator(seed=0).obfuscate(http_request_graph, 2)
+        assert result.graph.stats().node_count > http_request_graph.stats().node_count
+
+    def test_records_reference_existing_transformations(self, http_request_graph):
+        result = Obfuscator(seed=0).obfuscate(http_request_graph, 1)
+        from repro.transforms import transformation_names
+
+        names = set(transformation_names())
+        assert result.records
+        assert all(record.transformation in names for record in result.records)
+
+    def test_count_by_transformation_sums_to_total(self, modbus_request_graph):
+        result = Obfuscator(seed=1).obfuscate(modbus_request_graph, 1)
+        assert sum(result.count_by_transformation().values()) == result.applied_count
+
+    def test_summary_mentions_counts(self, http_request_graph):
+        result = Obfuscator(seed=0).obfuscate(http_request_graph, 1)
+        assert str(result.applied_count) in result.summary()
+
+    def test_restricted_family_only_applies_family(self, modbus_request_graph):
+        result = Obfuscator(family("const"), seed=0).obfuscate(modbus_request_graph, 1)
+        assert result.applied_count > 0
+        assert set(result.count_by_transformation()) <= {"ConstAdd", "ConstSub", "ConstXor"}
+
+    def test_node_budget_mode(self, modbus_request_graph):
+        result = Obfuscator(seed=0).obfuscate_node_budget(modbus_request_graph, 10)
+        assert result.applied_count == 10
+        validate_graph(result.graph)
+
+    def test_module_level_helper(self, http_request_graph):
+        result = obfuscate(http_request_graph, 1, seed=0)
+        assert result.applied_count > 0
+
+
+class TestObfuscatedRoundTrips:
+    @pytest.mark.parametrize("passes", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_round_trip_preserved(self, protocol_case, passes, seed, rng):
+        _, graph_factory, generator = protocol_case
+        result = Obfuscator(seed=seed).obfuscate(graph_factory(), passes)
+        codec = WireCodec(result.graph, seed=seed)
+        for _ in range(8):
+            message = generator(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_wire_format_differs_from_plain(self, protocol_case, rng):
+        _, graph_factory, generator = protocol_case
+        plain = WireCodec(graph_factory(), seed=0)
+        obfuscated = WireCodec(Obfuscator(seed=0).obfuscate(graph_factory(), 1).graph, seed=0)
+        message = generator(rng)
+        assert plain.serialize(message) != obfuscated.serialize(message)
+
+    def test_different_obfuscations_are_incompatible(self, rng):
+        message = modbus.random_request(rng)
+        first = WireCodec(Obfuscator(seed=10).obfuscate(modbus.request_graph(), 2).graph, seed=0)
+        second = WireCodec(Obfuscator(seed=11).obfuscate(modbus.request_graph(), 2).graph, seed=0)
+        data = first.serialize(message)
+        try:
+            parsed = second.parse(data)
+        except Exception:
+            return  # rejecting the buffer outright is the expected common case
+        assert parsed != message

@@ -1,0 +1,190 @@
+"""Tests of the PRE substrate, the experiment runner and the resilience study."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.experiments import PROTOCOLS, TABLE_HEADERS, ExperimentRunner, run_resilience
+from repro.pre import (
+    cluster_messages,
+    infer_fields,
+    infer_formats,
+    needleman_wunsch,
+    pairwise_similarity,
+    purity,
+    score_boundaries,
+    score_inference,
+    similarity,
+)
+from repro.protocols import modbus
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec
+
+
+class TestAlignment:
+    def test_identical_sequences_align_perfectly(self):
+        alignment = needleman_wunsch(b"abcdef", b"abcdef")
+        assert alignment.identity() == 1.0
+        assert alignment.matches() == 6
+
+    def test_gap_insertion(self):
+        alignment = needleman_wunsch(b"abcdef", b"abef")
+        assert alignment.length == 6
+        assert alignment.identity() == pytest.approx(4 / 6)
+
+    def test_empty_sequences(self):
+        assert similarity(b"", b"") == 1.0
+        assert needleman_wunsch(b"", b"abc").length == 3
+
+    def test_similarity_symmetric_and_bounded(self):
+        a, b = b"GET /index HTTP/1.1", b"GET /other HTTP/1.1"
+        assert similarity(a, b) == similarity(b, a)
+        assert 0.0 <= similarity(a, b) <= 1.0
+        assert similarity(a, a) == 1.0
+
+    def test_pairwise_matrix(self):
+        matrix = pairwise_similarity([b"aaaa", b"aaab", b"zzzz"])
+        assert matrix[0][0] == 1.0
+        assert matrix[0][1] == matrix[1][0]
+        assert matrix[0][1] > matrix[0][2]
+
+
+class TestClustering:
+    def test_similar_messages_cluster_together(self):
+        messages = [b"GET /a HTTP/1.1", b"GET /b HTTP/1.1", b"\x00\x01\x02\x03", b"\x00\x01\x02\x04"]
+        clustering = cluster_messages(messages, threshold=0.6)
+        labels = clustering.labels()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_empty_input(self):
+        assert cluster_messages([]).count == 0
+
+    def test_threshold_one_keeps_singletons(self):
+        clustering = cluster_messages([b"ab", b"cd"], threshold=1.01)
+        assert clustering.count == 2
+
+    def test_purity(self):
+        clustering = cluster_messages([b"aaaa", b"aaab", b"zzzz"], threshold=0.6)
+        assert purity(clustering, ["x", "x", "y"]) == 1.0
+        assert purity(cluster_messages([], threshold=0.5), []) == 0.0
+
+
+class TestFieldInference:
+    def test_constant_prefix_detected(self):
+        messages = [b"CMD\x00\x01payload-a", b"CMD\x00\x02payload-b", b"CMD\x00\x03payload-c"]
+        inferred = infer_fields(messages, [0, 1, 2])
+        assert inferred.reference_boundaries, "expected at least one inferred boundary"
+        for index in (0, 1, 2):
+            assert inferred.per_message_boundaries[index]
+
+    def test_empty_cluster(self):
+        inferred = infer_fields([], [])
+        assert inferred.reference_index == -1
+
+    def test_inference_result_accessors(self):
+        messages = [b"GET /a HTTP/1.1", b"GET /bb HTTP/1.1", b"\x01\x02\x03\x04\x05"]
+        result = infer_formats(messages, similarity_threshold=0.6)
+        assert result.cluster_count >= 2
+        assert isinstance(result.boundaries_for(0), frozenset)
+        assert result.boundaries_for(99) == frozenset()
+
+
+class TestScoring:
+    def test_boundary_scores(self):
+        score = score_boundaries(frozenset({2, 4, 9}), {2, 4, 6})
+        assert score.true_positives == 2
+        assert score.precision == pytest.approx(2 / 3)
+        assert score.recall == pytest.approx(2 / 3)
+        assert 0 < score.f1 < 1
+
+    def test_boundary_scores_with_tolerance(self):
+        score = score_boundaries(frozenset({3}), {4}, tolerance=1)
+        assert score.true_positives == 1
+
+    def test_empty_scores(self):
+        score = score_boundaries(frozenset(), set())
+        assert score.precision == 0.0 and score.recall == 0.0 and score.f1 == 0.0
+
+    def test_score_inference_on_plain_modbus(self):
+        rng = Random(0)
+        codec = WireCodec(modbus.request_graph(), seed=0)
+        trace, spans, types = [], [], []
+        for index in range(6):
+            message = modbus.realistic_request(rng, 3, transaction_id=index + 1)
+            data, message_spans = codec.serialize_with_spans(message)
+            trace.append(data)
+            spans.append(message_spans)
+            types.append(3)
+        result = infer_formats(trace)
+        score = score_inference(result, spans, types)
+        assert score.classification_purity == 1.0
+        assert score.boundary_recall > 0.3
+
+
+class TestExperimentRunner:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner("ftp")
+
+    def test_protocol_registry(self):
+        assert set(PROTOCOLS) == {"http", "modbus"}
+        assert len(TABLE_HEADERS) == 10
+
+    def test_single_run_measurements(self):
+        runner = ExperimentRunner("http", seed=0, runs_per_level=1, messages_per_run=3)
+        run = runner.run_once(passes=1, run_index=0)
+        assert run.applied > 0
+        assert run.normalized.lines > 1.0
+        assert run.generation_ms > 0.0
+        assert run.buffer_size > 0.0
+
+    def test_reference_potency_cached(self):
+        runner = ExperimentRunner("http", seed=0)
+        assert runner.reference_potency() is runner.reference_potency()
+
+    def test_table_rows_and_trend(self):
+        runner = ExperimentRunner("http", seed=1, runs_per_level=2, messages_per_run=3)
+        table = runner.run_table(levels=(1, 2))
+        assert set(table) == {1, 2}
+        assert table[2].applied.mean > table[1].applied.mean
+        assert table[2].lines.mean >= table[1].lines.mean
+        row = table[1].table_row()
+        assert len(row) == len(TABLE_HEADERS)
+
+    def test_time_series_and_regression(self):
+        runner = ExperimentRunner("http", seed=2, runs_per_level=2, messages_per_run=3)
+        runs, parse_fit, serialize_fit = runner.time_series(levels=(1, 2))
+        assert len(runs) == 4
+        assert parse_fit.samples == 4
+        assert serialize_fit.samples == 4
+
+    def test_potency_series(self):
+        runner = ExperimentRunner("http", seed=3, runs_per_level=1, messages_per_run=2)
+        series = runner.potency_series(levels=(1,))
+        assert set(series[1]) == {
+            "applied", "lines", "structs", "call_graph_size", "call_graph_depth",
+            "buffer_size",
+        }
+
+
+class TestResilience:
+    def test_resilience_report_shows_degradation(self):
+        report = run_resilience(passes_levels=(2,), seed=0, repeats=2,
+                                function_codes=(1, 3, 6, 16))
+        assert report.plain.boundary_f1 > 0.35
+        assert report.obfuscated[2].boundary_f1 < report.plain.boundary_f1
+        assert report.degradation(2) > 0.3
+        # classification degrades: far more clusters than real message types
+        assert report.obfuscated[2].cluster_count > report.plain.cluster_count
+
+    def test_degradation_with_zero_plain_score(self):
+        from repro.experiments.resilience import ResilienceReport
+        from repro.pre.evaluate import InferenceScore
+
+        empty = InferenceScore(0.0, 0.0, 0.0, 0.0, 0, 0)
+        report = ResilienceReport(plain=empty, obfuscated={1: empty})
+        assert report.degradation(1) == 0.0

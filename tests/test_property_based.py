@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+The central invariant of the whole framework is invertibility: for any
+well-formed logical message and any sequence of transformations, parsing the
+serialized bytes yields the original message back.  The properties below
+exercise that invariant plus the lower-level building blocks it rests on.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    FieldPath,
+    Message,
+    Synthesis,
+    SynthesisOp,
+    ValueKind,
+    ValueOp,
+    ValueOpKind,
+    apply_chain,
+    invert_chain,
+)
+from repro.pre import needleman_wunsch
+from repro.protocols import http, modbus
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec, Window
+
+_SETTINGS = settings(max_examples=60, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# value operations
+# ---------------------------------------------------------------------------
+
+
+@given(
+    value=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    constant=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    kinds=st.lists(st.sampled_from(list(ValueOpKind)), min_size=1, max_size=5),
+)
+@_SETTINGS
+def test_integer_codec_chains_are_invertible(value, constant, kinds):
+    chain = tuple(ValueOp(kind, constant, bytewise=False, width=4) for kind in kinds)
+    obfuscated = apply_chain(value, ValueKind.UINT, chain)
+    assert 0 <= obfuscated < 0x100000000
+    assert invert_chain(obfuscated, ValueKind.UINT, chain) == value
+
+
+@given(
+    value=st.binary(max_size=64),
+    constants=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=4),
+    kind=st.sampled_from(list(ValueOpKind)),
+)
+@_SETTINGS
+def test_bytewise_codec_chains_are_invertible(value, constants, kind):
+    chain = tuple(ValueOp(kind, constant, bytewise=True) for constant in constants)
+    assert invert_chain(apply_chain(value, ValueKind.BYTES, chain), ValueKind.BYTES, chain) == value
+
+
+@given(
+    value=st.integers(min_value=0, max_value=0xFFFF),
+    op=st.sampled_from([SynthesisOp.ADD, SynthesisOp.SUB, SynthesisOp.XOR]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@_SETTINGS
+def test_integer_synthesis_split_combine(value, op, seed):
+    synthesis = Synthesis(op, ValueKind.UINT, width=2)
+    first, second = synthesis.split(value, Random(seed))
+    assert synthesis.combine(first, second) == value
+
+
+@given(value=st.binary(max_size=48), seed=st.integers(min_value=0, max_value=2**16))
+@_SETTINGS
+def test_cat_synthesis_split_combine(value, seed):
+    synthesis = Synthesis(SynthesisOp.CAT, ValueKind.BYTES)
+    first, second = synthesis.split(value, Random(seed))
+    assert synthesis.combine(first, second) == value
+
+
+# ---------------------------------------------------------------------------
+# field paths and messages
+# ---------------------------------------------------------------------------
+
+_name = st.text(alphabet="abcdefgh_", min_size=1, max_size=6).filter(
+    lambda s: not s.startswith("_") or True
+)
+_step = st.one_of(_name, st.integers(min_value=0, max_value=5))
+
+
+@given(first=_name, rest=st.lists(_step, min_size=0, max_size=5))
+@_SETTINGS
+def test_fieldpath_str_parse_round_trip(first, rest):
+    # Logical paths always start with a field name (indices only follow lists).
+    path = FieldPath([first, *rest])
+    assert FieldPath.parse(str(path)) == path
+
+
+@given(
+    steps=st.lists(_name, min_size=1, max_size=4),
+    value=st.one_of(st.integers(), st.binary(max_size=8), st.text(max_size=8)),
+)
+@_SETTINGS
+def test_message_set_then_get(steps, value):
+    message = Message()
+    path = FieldPath(steps)
+    message.set(path, value)
+    assert message.get(path) == value
+    assert message.has(path)
+
+
+# ---------------------------------------------------------------------------
+# window reader
+# ---------------------------------------------------------------------------
+
+
+@given(data=st.binary(max_size=64), cut=st.integers(min_value=0, max_value=64))
+@_SETTINGS
+def test_window_read_partition(data, cut):
+    window = Window(data)
+    take = min(cut, len(data))
+    first = window.read(take)
+    rest = window.read_rest()
+    assert first + rest == data
+    assert window.at_end()
+
+
+# ---------------------------------------------------------------------------
+# alignment
+# ---------------------------------------------------------------------------
+
+
+@given(first=st.binary(max_size=24), second=st.binary(max_size=24))
+@_SETTINGS
+def test_alignment_preserves_sequences(first, second):
+    alignment = needleman_wunsch(first, second)
+    recovered_first = bytes(b for b in alignment.first if b is not None)
+    recovered_second = bytes(b for b in alignment.second if b is not None)
+    assert recovered_first == first
+    assert recovered_second == second
+    assert 0.0 <= alignment.identity() <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# end-to-end invertibility under random obfuscation
+# ---------------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    passes=st.integers(min_value=0, max_value=3),
+    message_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_modbus_round_trip_under_random_obfuscation(seed, passes, message_seed):
+    graph = Obfuscator(seed=seed).obfuscate(modbus.request_graph(), passes).graph
+    codec = WireCodec(graph, seed=seed)
+    message = modbus.random_request(Random(message_seed))
+    assert codec.parse(codec.serialize(message)) == message
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    passes=st.integers(min_value=0, max_value=3),
+    message_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_http_round_trip_under_random_obfuscation(seed, passes, message_seed):
+    graph = Obfuscator(seed=seed).obfuscate(http.request_graph(), passes).graph
+    codec = WireCodec(graph, seed=seed)
+    message = http.random_request(Random(message_seed))
+    assert codec.parse(codec.serialize(message)) == message

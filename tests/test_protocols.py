@@ -1,0 +1,162 @@
+"""Tests of the Modbus and HTTP specifications and core applications."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core import BoundaryKind, NodeType
+from repro.protocols import http, modbus
+from repro.wire import WireCodec
+
+
+class TestModbusSpec:
+    def test_graph_sizes_match_paper_scale(self):
+        # The paper reports ~47.8 applied transformations at one pass per node,
+        # i.e. a graph of roughly that many nodes.
+        assert 40 <= modbus.request_graph().stats().node_count <= 55
+        assert 38 <= modbus.response_graph().stats().node_count <= 55
+
+    def test_contains_tabular_length_and_counter(self):
+        graph = modbus.request_graph()
+        kinds = {node.boundary.kind for node in graph.nodes()}
+        types = {node.type for node in graph.nodes()}
+        assert BoundaryKind.LENGTH in kinds
+        assert BoundaryKind.COUNTER in kinds
+        assert NodeType.TABULAR in types
+        assert NodeType.OPTIONAL in types
+
+    def test_block_names(self):
+        assert modbus.block_name(3) == "read_holding_registers"
+        with pytest.raises(KeyError):
+            modbus.block_name(99)
+
+    @pytest.mark.parametrize("function_code", modbus.FUNCTION_CODES)
+    def test_request_round_trip_per_function_code(self, function_code, rng):
+        codec = WireCodec(modbus.request_graph(), seed=0)
+        message = modbus.random_request(rng, function_code=function_code)
+        assert codec.parse(codec.serialize(message)) == message
+
+    @pytest.mark.parametrize("function_code", modbus.FUNCTION_CODES)
+    def test_response_round_trip_per_function_code(self, function_code, rng):
+        codec = WireCodec(modbus.response_graph(), seed=0)
+        message = modbus.random_response(rng, function_code=function_code)
+        assert codec.parse(codec.serialize(message)) == message
+
+    def test_known_wire_layout_read_request(self):
+        codec = WireCodec(modbus.request_graph(), seed=0)
+        message = modbus.build_request(3, transaction_id=1, unit_id=17,
+                                       start_address=107, quantity=3)
+        data = codec.serialize(message)
+        assert data == bytes.fromhex("000100000006110300 6b0003".replace(" ", ""))
+
+    def test_known_wire_layout_write_single_register(self):
+        codec = WireCodec(modbus.request_graph(), seed=0)
+        message = modbus.build_request(6, transaction_id=2, unit_id=1, address=5, value=321)
+        data = codec.serialize(message)
+        assert data == bytes.fromhex("0002000000060106000501 41".replace(" ", ""))
+
+    def test_mbap_length_field_is_consistent(self, rng):
+        codec = WireCodec(modbus.request_graph(), seed=0)
+        for _ in range(10):
+            data = codec.serialize(modbus.random_request(rng))
+            declared = int.from_bytes(data[4:6], "big")
+            assert declared == len(data) - 6
+
+    def test_write_multiple_registers_byte_count(self):
+        codec = WireCodec(modbus.request_graph(), seed=0)
+        message = modbus.build_request(16, transaction_id=1, start_address=0,
+                                       registers=[1, 2, 3])
+        data = codec.serialize(message)
+        assert data[12] == 3 * 2                        # byte count
+        assert int.from_bytes(data[10:12], "big") == 3  # quantity (derived)
+
+    def test_build_request_rejects_unknown_function_code(self):
+        with pytest.raises(ValueError):
+            modbus.build_request(99)
+        with pytest.raises(ValueError):
+            modbus.build_response(99)
+
+    def test_matching_response_keeps_transaction_and_code(self, rng):
+        request = modbus.random_request(rng, function_code=3)
+        response = modbus.matching_response(request, rng)
+        assert response.get("response_payload.function_code") == 3
+        assert response.get("response_transaction_id") == request.get("request_transaction_id")
+
+    def test_random_conversation_alternates(self, rng):
+        conversation = modbus.random_conversation(rng, 3)
+        assert [direction for direction, _ in conversation] == [
+            "request", "response", "request", "response", "request", "response"
+        ]
+
+    def test_realistic_generators_round_trip(self, rng):
+        request_codec = WireCodec(modbus.request_graph(), seed=0)
+        response_codec = WireCodec(modbus.response_graph(), seed=0)
+        for function_code in modbus.FUNCTION_CODES:
+            request = modbus.realistic_request(rng, function_code, transaction_id=3)
+            response = modbus.realistic_response(rng, function_code, transaction_id=3)
+            assert request_codec.parse(request_codec.serialize(request)) == request
+            assert response_codec.parse(response_codec.serialize(response)) == response
+
+
+class TestHttpSpec:
+    def test_graph_sizes_match_paper_scale(self):
+        # The paper reports ~10.1 applied transformations at one pass per node.
+        assert 8 <= http.request_graph().stats().node_count <= 14
+        assert 8 <= http.response_graph().stats().node_count <= 14
+
+    def test_contains_optional_repetition_delimited(self):
+        graph = http.request_graph()
+        types = {node.type for node in graph.nodes()}
+        kinds = {node.boundary.kind for node in graph.nodes()}
+        assert NodeType.OPTIONAL in types
+        assert NodeType.REPETITION in types
+        assert BoundaryKind.DELIMITED in kinds
+
+    def test_known_wire_layout_get_request(self):
+        codec = WireCodec(http.request_graph(), seed=0)
+        message = http.build_request("GET", "/index.html", headers=[("Host", "example.com")])
+        data = codec.serialize(message)
+        assert data == b"GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n"
+
+    def test_known_wire_layout_post_with_body(self):
+        codec = WireCodec(http.request_graph(), seed=0)
+        message = http.build_request("POST", "/submit", headers=[("Host", "h")], body=b"abc")
+        assert codec.serialize(message) == b"POST /submit HTTP/1.1\r\nHost: h\r\n\r\nabc"
+
+    def test_response_wire_layout(self):
+        codec = WireCodec(http.response_graph(), seed=0)
+        message = http.build_response("200", "OK", headers=[("Connection", "close")],
+                                      body=b"hello")
+        assert codec.serialize(message) == b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nhello"
+
+    def test_request_without_headers(self):
+        codec = WireCodec(http.request_graph(), seed=0)
+        message = http.build_request("GET", "/")
+        assert codec.serialize(message) == b"GET / HTTP/1.1\r\n\r\n"
+        assert codec.parse(codec.serialize(message)) == message
+
+    def test_random_request_round_trip(self, rng):
+        codec = WireCodec(http.request_graph(), seed=0)
+        for _ in range(20):
+            message = http.random_request(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_random_response_round_trip(self, rng):
+        codec = WireCodec(http.response_graph(), seed=0)
+        for _ in range(20):
+            message = http.random_response(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_body_only_for_body_methods(self, rng):
+        for _ in range(20):
+            message = http.random_request(rng)
+            if message.get("method") not in http.METHODS_WITH_BODY:
+                assert not message.has("request_body")
+
+    def test_random_conversation(self, rng):
+        conversation = http.random_conversation(rng, 2)
+        assert len(conversation) == 4
+        assert conversation[0][0] == "request"
+        assert conversation[1][0] == "response"

@@ -1,0 +1,172 @@
+"""Tests of the specification DSL: lexer, parser and writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BoundaryKind, NodeType, SpecError, ValueKind
+from repro.core.values import Endian
+from repro.protocols import http, modbus
+from repro.spec import parse_spec, tokenize, write_spec
+from repro.wire import WireCodec
+
+DEMO_SPEC = '''
+protocol demo;
+
+# A demonstration specification exercising every construct.
+message demo_msg {
+    uint kind : 1;
+    uint body_len : 2;
+    sequence body length(body_len) {
+        text name delimited(": ");
+        text value delimited("\\r\\n");
+        uint count : 1;
+        tabular entries count(count) {
+            uint hi : 1;
+            uint lo : 1;
+        }
+    }
+    optional extra present_if(kind == 2) {
+        uint flags : 4 little;
+    }
+    repetition words delimited("\\n") {
+        text word delimited("\\n");
+    }
+    bytes payload end;
+}
+'''
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize('message x { uint a : 2; }')
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["KEYWORD", "IDENT", "LBRACE", "KEYWORD", "IDENT", "COLON",
+                         "INT", "SEMI", "RBRACE", "EOF"]
+
+    def test_string_escapes(self):
+        tokens = tokenize('"a\\r\\n\\t\\\\\\"\\x41\\0"')
+        assert tokens[0].value == 'a\r\n\t\\"A\0'
+
+    def test_hex_and_decimal_integers(self):
+        tokens = tokenize("255 0xff")
+        assert tokens[0].value == 255
+        assert tokens[1].value == 255
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("# nothing here\nuint")
+        assert tokens[0].kind == "KEYWORD"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SpecError):
+            tokenize('"abc')
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SpecError):
+            tokenize("uint @")
+
+    def test_invalid_escape_raises(self):
+        with pytest.raises(SpecError):
+            tokenize('"\\q"')
+
+    def test_error_carries_position(self):
+        with pytest.raises(SpecError) as error:
+            tokenize("uint\n  @")
+        assert error.value.line == 2
+
+
+class TestParser:
+    def test_full_specification(self):
+        graph = parse_spec(DEMO_SPEC)
+        assert graph.name == "demo"
+        assert graph.root.name == "demo_msg"
+        assert graph.require("kind").value_kind is ValueKind.UINT
+        assert graph.require("body").boundary.kind is BoundaryKind.LENGTH
+        assert graph.require("entries").type is NodeType.TABULAR
+        assert graph.require("extra").presence_ref == "kind"
+        assert graph.require("extra").presence_value == 2
+        assert graph.require("flags").endian is Endian.LITTLE
+        assert graph.require("words").boundary.kind is BoundaryKind.DELIMITED
+        assert graph.require("payload").boundary.kind is BoundaryKind.END
+        # derived fields carry no origin
+        assert graph.require("body_len").origin is None
+        assert graph.require("count").origin is None
+
+    def test_multi_node_blocks_get_implicit_item_sequence(self):
+        graph = parse_spec(DEMO_SPEC)
+        entries = graph.require("entries")
+        assert entries.children[0].name == "entries_item"
+        assert len(entries.children[0].children) == 2
+
+    def test_parsed_graph_serializes(self):
+        graph = parse_spec(DEMO_SPEC)
+        codec = WireCodec(graph, seed=0)
+        message = {
+            "kind": 2,
+            "body": {"name": "Host", "value": "example",
+                     "entries": [{"hi": 1, "lo": 2}, {"hi": 3, "lo": 4}]},
+            "extra": 9,
+            "words": ["ab", "cd"],
+            "payload": b"xyz",
+        }
+        assert codec.parse(codec.serialize(message)) == message
+
+    def test_protocol_header_optional(self):
+        graph = parse_spec("message m { uint a : 1; }")
+        assert graph.name == "m"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "message m { uint a; }",                      # missing boundary
+            "message m { uint a : 1 }",                   # missing semicolon
+            "message m { sequence s { } }",               # empty block
+            "message m { tabular t { uint a : 1; } }",    # missing count
+            "message m { unknown a : 1; }",               # unknown keyword
+            "uint a : 1;",                                # missing message
+            "message m { uint a : 1; } trailing",         # trailing tokens
+            "message m { optional o present_if(x = 1) { uint a : 1; } }",  # bad operator
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(SpecError):
+            parse_spec(text)
+
+    def test_semantic_errors_are_reported(self):
+        # the referenced length field does not exist
+        with pytest.raises(Exception):
+            parse_spec("message m { sequence s length(nope) { uint a : 1; } }")
+
+
+class TestWriter:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [modbus.request_graph, modbus.response_graph, http.request_graph, http.response_graph],
+        ids=["modbus_request", "modbus_response", "http_request", "http_response"],
+    )
+    def test_write_then_parse_preserves_structure(self, graph_factory):
+        graph = graph_factory()
+        text = write_spec(graph)
+        reparsed = parse_spec(text)
+        assert [node.name for node in reparsed.nodes()] == [node.name for node in graph.nodes()]
+        assert [node.type for node in reparsed.nodes()] == [node.type for node in graph.nodes()]
+        assert [node.boundary.kind for node in reparsed.nodes()] == [
+            node.boundary.kind for node in graph.nodes()
+        ]
+
+    def test_write_demo_round_trip(self):
+        graph = parse_spec(DEMO_SPEC)
+        assert write_spec(parse_spec(write_spec(graph))) == write_spec(graph)
+
+    def test_writer_rejects_obfuscated_graphs(self):
+        from random import Random
+
+        from repro.transforms import Obfuscator
+
+        obfuscated = Obfuscator(seed=0).obfuscate(http.request_graph(), 1).graph
+        with pytest.raises(SpecError):
+            write_spec(obfuscated)
+
+    def test_writer_escapes_delimiters(self):
+        text = write_spec(http.request_graph())
+        assert '\\r\\n' in text

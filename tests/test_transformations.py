@@ -1,0 +1,442 @@
+"""Unit tests of every generic transformation (applicability + behaviour)."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core import (
+    Boundary,
+    BoundaryKind,
+    Message,
+    NodeType,
+    NotApplicableError,
+    build_graph,
+    delimited_text,
+    fixed_bytes,
+    optional,
+    remaining_bytes,
+    repetition,
+    sequence,
+    tabular,
+    uint,
+    validate_graph,
+)
+from repro.protocols import http, modbus
+from repro.transforms import (
+    BoundaryChange,
+    ChildMove,
+    ConstAdd,
+    ConstSub,
+    ConstXor,
+    PadInsert,
+    ReadFromEnd,
+    RepSplit,
+    SplitAdd,
+    SplitCat,
+    SplitSub,
+    SplitXor,
+    TabSplit,
+    by_name,
+    default_transformations,
+    family,
+    transformation_names,
+)
+from repro.wire import WireCodec
+
+
+def _simple_graph():
+    return build_graph(
+        sequence(
+            "root",
+            [
+                uint("kind", 2),
+                delimited_text("label", b" "),
+                remaining_bytes("payload"),
+            ],
+        ),
+        "simple",
+    )
+
+
+def _roundtrip(graph, message):
+    codec = WireCodec(graph, seed=99)
+    return codec.parse(codec.serialize(Message.from_dict(message))) == message
+
+
+SIMPLE_MESSAGE = {"kind": 513, "label": "hello", "payload": b"DATA"}
+
+
+class TestRegistry:
+    def test_all_paper_transformations_registered(self):
+        names = set(transformation_names())
+        assert names == {
+            "SplitAdd", "SplitSub", "SplitXor", "SplitCat", "ConstAdd", "ConstSub",
+            "ConstXor", "BoundaryChange", "PadInsert", "ReadFromEnd", "TabSplit",
+            "RepSplit", "ChildMove",
+        }
+
+    def test_by_name(self):
+        assert by_name("SplitAdd").name == "SplitAdd"
+        with pytest.raises(KeyError):
+            by_name("Nope")
+
+    def test_family_lookup(self):
+        assert {t.name for t in family("split")} == {"SplitAdd", "SplitSub", "SplitXor",
+                                                     "SplitCat"}
+        with pytest.raises(KeyError):
+            family("unknown")
+
+    def test_every_transformation_has_challenge_and_category(self):
+        for transformation in default_transformations():
+            assert transformation.challenge
+            assert transformation.category.value in ("aggregation", "ordering")
+
+
+class TestConstTransformations:
+    @pytest.mark.parametrize("transformation", [ConstAdd(), ConstSub(), ConstXor()])
+    def test_uint_round_trip(self, transformation):
+        graph = _simple_graph()
+        node = graph.require("kind")
+        assert transformation.is_applicable(graph, node)
+        record = transformation.apply(graph, node, Random(0))
+        validate_graph(graph)
+        assert record.transformation == transformation.name
+        assert len(node.codec_chain) == 1
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+
+    def test_bytewise_on_end_bounded_bytes(self):
+        graph = _simple_graph()
+        node = graph.require("payload")
+        transformation = ConstXor()
+        assert transformation.is_applicable(graph, node)
+        transformation.apply(graph, node, Random(1))
+        validate_graph(graph)
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+
+    def test_not_applicable_to_delimited_text(self):
+        graph = _simple_graph()
+        assert not ConstAdd().is_applicable(graph, graph.require("label"))
+
+    def test_not_applicable_to_composites(self):
+        graph = _simple_graph()
+        assert not ConstAdd().is_applicable(graph, graph.root)
+
+    def test_applicable_to_derived_length_field(self):
+        graph = modbus.request_graph()
+        length = graph.require("request_length")
+        assert ConstAdd().is_applicable(graph, length)
+        ConstAdd().apply(graph, length, Random(2))
+        validate_graph(graph)
+        message = modbus.random_request(Random(3))
+        assert _roundtrip(graph, message.to_dict())
+
+    def test_wire_bytes_change(self):
+        graph = _simple_graph()
+        plain = WireCodec(_simple_graph(), seed=0).serialize(SIMPLE_MESSAGE)
+        ConstXor().apply(graph, graph.require("kind"), Random(5))
+        obfuscated = WireCodec(graph, seed=0).serialize(SIMPLE_MESSAGE)
+        assert plain != obfuscated
+
+
+class TestArithmeticSplits:
+    @pytest.mark.parametrize("transformation", [SplitAdd(), SplitSub(), SplitXor()])
+    def test_split_round_trip_and_structure(self, transformation):
+        graph = _simple_graph()
+        node = graph.require("kind")
+        assert transformation.is_applicable(graph, node)
+        record = transformation.apply(graph, node, Random(0))
+        validate_graph(graph)
+        assert graph.find("kind") is None
+        assert len(record.created) == 3
+        replacement = graph.require(record.created[0])
+        assert replacement.synthesis is not None
+        assert len(replacement.children) == 2
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+
+    def test_split_wire_representation_varies_across_messages(self):
+        graph = _simple_graph()
+        SplitAdd().apply(graph, graph.require("kind"), Random(0))
+        codec = WireCodec(graph, seed=1)
+        outputs = {codec.serialize(SIMPLE_MESSAGE) for _ in range(8)}
+        assert len(outputs) > 1, "split shares must be drawn per message"
+        for data in outputs:
+            assert codec.parse(data) == SIMPLE_MESSAGE
+
+    def test_not_applicable_to_text(self):
+        graph = _simple_graph()
+        assert not SplitAdd().is_applicable(graph, graph.require("label"))
+
+    def test_not_applicable_to_derived_fields(self):
+        graph = modbus.request_graph()
+        assert not SplitAdd().is_applicable(graph, graph.require("request_length"))
+
+    def test_not_applicable_twice(self):
+        graph = _simple_graph()
+        node = graph.require("kind")
+        record = SplitAdd().apply(graph, node, Random(0))
+        share = graph.require(record.created[1])
+        assert not SplitAdd().is_applicable(graph, share)
+
+    def test_not_applicable_to_presence_reference(self):
+        graph = modbus.request_graph()
+        assert not SplitXor().is_applicable(graph, graph.require("function_code"))
+
+
+class TestSplitCat:
+    def test_fixed_bytes_split(self):
+        graph = build_graph(sequence("root", [fixed_bytes("raw", 6)]), "demo")
+        node = graph.require("raw")
+        assert SplitCat().is_applicable(graph, node)
+        record = SplitCat().apply(graph, node, Random(0))
+        validate_graph(graph)
+        parts = [graph.require(name) for name in record.created[1:]]
+        assert sum(part.boundary.size for part in parts) == 6
+        assert _roundtrip(graph, {"raw": b"abcdef"})
+
+    def test_fixed_too_small_not_applicable(self):
+        graph = build_graph(sequence("root", [fixed_bytes("raw", 1)]), "demo")
+        assert not SplitCat().is_applicable(graph, graph.require("raw"))
+
+    def test_delimited_text_split(self):
+        graph = _simple_graph()
+        node = graph.require("label")
+        assert SplitCat().is_applicable(graph, node)
+        SplitCat().apply(graph, node, Random(0))
+        validate_graph(graph)
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+
+    def test_end_bounded_bytes_split(self):
+        graph = _simple_graph()
+        SplitCat().apply(graph, graph.require("payload"), Random(0))
+        validate_graph(graph)
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+        assert _roundtrip(graph, {**SIMPLE_MESSAGE, "payload": b""})
+
+    def test_not_applicable_to_uint(self):
+        graph = _simple_graph()
+        assert not SplitCat().is_applicable(graph, graph.require("kind"))
+
+
+class TestBoundaryChange:
+    def test_delimited_terminal(self):
+        graph = _simple_graph()
+        node = graph.require("label")
+        assert BoundaryChange().is_applicable(graph, node)
+        record = BoundaryChange().apply(graph, node, Random(0))
+        validate_graph(graph)
+        assert node.boundary.kind is BoundaryKind.LENGTH
+        assert len(record.created) == 2
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+        # the delimiter no longer appears on the wire for that field
+        data = WireCodec(graph, seed=0).serialize(SIMPLE_MESSAGE)
+        assert b"hello " not in data
+
+    def test_delimited_repetition(self):
+        graph = http.request_graph()
+        node = graph.require("request_headers")
+        assert BoundaryChange().is_applicable(graph, node)
+        BoundaryChange().apply(graph, node, Random(0))
+        validate_graph(graph)
+        message = http.random_request(Random(1))
+        assert _roundtrip(graph, message.to_dict())
+
+    def test_enables_const_and_mirror(self):
+        graph = _simple_graph()
+        node = graph.require("label")
+        assert not ConstXor().is_applicable(graph, node)
+        assert not ReadFromEnd().is_applicable(graph, node)
+        BoundaryChange().apply(graph, node, Random(0))
+        assert ConstXor().is_applicable(graph, node)
+        assert ReadFromEnd().is_applicable(graph, node)
+        ConstXor().apply(graph, node, Random(1))
+        ReadFromEnd().apply(graph, node, Random(2))
+        validate_graph(graph)
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+
+    def test_not_applicable_to_fixed(self):
+        graph = _simple_graph()
+        assert not BoundaryChange().is_applicable(graph, graph.require("kind"))
+
+
+class TestPadInsert:
+    def test_pad_inserted_and_ignored(self):
+        graph = _simple_graph()
+        record = PadInsert().apply(graph, graph.root, Random(0))
+        validate_graph(graph)
+        pad = graph.require(record.created[0])
+        assert pad.is_pad and pad.origin is None
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+
+    def test_pad_never_first_position(self):
+        graph = _simple_graph()
+        for seed in range(10):
+            working = _simple_graph()
+            record = PadInsert().apply(working, working.root, Random(seed))
+            assert record.parameters["position"] >= 1
+
+    def test_pad_not_after_greedy_child(self):
+        graph = _simple_graph()
+        # 'payload' (END boundary) is the last child: the pad may not follow it.
+        positions = {PadInsert().apply(_simple_graph(), _simple_graph().root, Random(s))
+                     .parameters["position"] for s in range(12)}
+        assert max(positions) <= 2
+
+    def test_not_applicable_when_first_child_is_greedy(self):
+        graph = build_graph(sequence("root", [remaining_bytes("rest")]), "demo")
+        assert not PadInsert().is_applicable(graph, graph.root)
+
+    def test_pad_changes_wire_but_not_logic(self):
+        graph = _simple_graph()
+        PadInsert().apply(graph, graph.root, Random(0))
+        codec = WireCodec(graph, seed=0)
+        first = codec.serialize(SIMPLE_MESSAGE)
+        second = codec.serialize(SIMPLE_MESSAGE)
+        assert first != second  # random padding bytes
+        assert codec.parse(first) == SIMPLE_MESSAGE
+        assert codec.parse(second) == SIMPLE_MESSAGE
+
+
+class TestReadFromEnd:
+    def test_fixed_terminal_mirrored(self):
+        graph = _simple_graph()
+        node = graph.require("kind")
+        assert ReadFromEnd().is_applicable(graph, node)
+        ReadFromEnd().apply(graph, node, Random(0))
+        validate_graph(graph)
+        data = WireCodec(graph, seed=0).serialize(SIMPLE_MESSAGE)
+        assert data[:2] == (513).to_bytes(2, "big")[::-1]
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+
+    def test_end_bounded_payload_mirrored(self):
+        graph = _simple_graph()
+        ReadFromEnd().apply(graph, graph.require("payload"), Random(0))
+        data = WireCodec(graph, seed=0).serialize(SIMPLE_MESSAGE)
+        assert data.endswith(b"ATAD")
+        assert _roundtrip(graph, SIMPLE_MESSAGE)
+
+    def test_not_applicable_to_delimited(self):
+        graph = _simple_graph()
+        assert not ReadFromEnd().is_applicable(graph, graph.require("label"))
+
+    def test_not_applicable_twice(self):
+        graph = _simple_graph()
+        node = graph.require("kind")
+        ReadFromEnd().apply(graph, node, Random(0))
+        assert not ReadFromEnd().is_applicable(graph, node)
+
+    def test_composite_with_static_size_mirrored(self):
+        graph = modbus.request_graph()
+        block = graph.require("read_coils_request")
+        assert ReadFromEnd().is_applicable(graph, block)
+        ReadFromEnd().apply(graph, block, Random(0))
+        validate_graph(graph)
+        message = modbus.build_request(1, transaction_id=5, start_address=16, quantity=3)
+        assert _roundtrip(graph, message.to_dict())
+
+
+class TestTabSplitAndRepSplit:
+    def test_tabsplit_on_modbus_registers(self):
+        graph = modbus.request_graph()
+        node = graph.require("write_multiple_registers_registers")
+        assert TabSplit().is_applicable(graph, node)
+        record = TabSplit().apply(graph, node, Random(0))
+        validate_graph(graph)
+        assert record.parameters["columns"] == 2
+        message = modbus.build_request(
+            16, transaction_id=9, start_address=2, registers=[0x0102, 0x0304, 0x0506]
+        )
+        codec = WireCodec(graph, seed=0)
+        data = codec.serialize(message)
+        assert codec.parse(data) == message
+        # column layout: all high bytes then all low bytes
+        assert b"\x01\x03\x05\x02\x04\x06" in data
+
+    def test_tabsplit_not_applicable_to_single_column(self):
+        graph = modbus.request_graph()
+        assert not TabSplit().is_applicable(
+            graph, graph.require("write_multiple_coils_data")
+        )
+
+    def test_repsplit_on_http_headers(self):
+        graph = http.request_graph()
+        node = graph.require("request_headers")
+        assert RepSplit().is_applicable(graph, node)
+        record = RepSplit().apply(graph, node, Random(0))
+        validate_graph(graph)
+        assert record.parameters["columns"] == 2
+        message = http.build_request(
+            "GET", "/index", headers=[("Host", "a"), ("Accept", "b"), ("X", "c")]
+        )
+        codec = WireCodec(graph, seed=0)
+        data = codec.serialize(message)
+        assert codec.parse(data) == message
+        # all names now precede all values
+        assert data.index(b"Accept") < data.index(b"a\r\n")
+
+    def test_repsplit_not_applicable_to_scalar_repetition(self):
+        graph = build_graph(
+            sequence("root", [repetition("items", uint("x", 1), boundary=Boundary.end())]),
+            "demo",
+        )
+        assert not RepSplit().is_applicable(graph, graph.require("items"))
+
+    def test_cross_reference_blocks_split(self):
+        element = sequence(
+            "entry",
+            [uint("entry_len", 2), fixed_bytes("entry_data", 2)],
+        )
+        element.children[1].boundary = Boundary.length("entry_len")
+        graph = build_graph(
+            sequence("root", [uint("n", 1), tabular("entries", element, counter="n")]),
+            "demo",
+        )
+        assert not TabSplit().is_applicable(graph, graph.require("entries"))
+
+
+class TestChildMove:
+    def test_swap_changes_wire_order(self):
+        graph = _simple_graph()
+        node = graph.root
+        assert ChildMove().is_applicable(graph, node)
+        applied = False
+        for seed in range(10):
+            working = _simple_graph()
+            try:
+                ChildMove().apply(working, working.root, Random(seed))
+            except NotApplicableError:
+                continue
+            validate_graph(working)
+            applied = True
+            assert _roundtrip(working, SIMPLE_MESSAGE)
+        assert applied
+
+    def test_invalid_swaps_are_reverted(self):
+        # Moving the greedy END payload before other fields must be rejected, so
+        # every successful permutation keeps the graph valid.
+        for seed in range(12):
+            graph = _simple_graph()
+            try:
+                ChildMove().apply(graph, graph.root, Random(seed))
+            except NotApplicableError:
+                continue
+            validate_graph(graph)
+
+    def test_not_applicable_to_single_child_sequence(self):
+        graph = build_graph(sequence("root", [uint("only", 1)]), "demo")
+        assert not ChildMove().is_applicable(graph, graph.root)
+
+    def test_dependency_preserved_in_modbus(self):
+        graph = modbus.request_graph()
+        payload = graph.require("request_payload")
+        for seed in range(6):
+            working = modbus.request_graph()
+            try:
+                ChildMove().apply(working, working.require("request_payload"), Random(seed))
+            except NotApplicableError:
+                continue
+            validate_graph(working)
+            message = modbus.random_request(Random(seed + 50))
+            assert _roundtrip(working, message.to_dict())
+        assert payload is not None
