@@ -1,15 +1,22 @@
 """Shared configuration of the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper's evaluation
-(Section VII).  The workload sizes are deliberately smaller than the paper's
+(Section VII) or one of the extension studies (ablations, new protocol
+workloads).  The workload sizes are deliberately smaller than the paper's
 1000 runs per obfuscation level so that the whole harness completes in a few
 minutes; the reported *shape* (growth trends, regression slopes, who wins) is
 what matters, not the absolute repetition count.
+
+Protocols are resolved through :mod:`repro.protocols.registry`: the
+``make_runner`` fixture builds a pre-configured
+:class:`~repro.experiments.ExperimentRunner` for any registered protocol.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.experiments import ExperimentRunner
 
 #: Number of random obfuscation draws per obfuscation level (paper: 1000).
 RUNS_PER_LEVEL = 3
@@ -27,3 +34,22 @@ def bench_config():
         "messages_per_run": MESSAGES_PER_RUN,
         "levels": LEVELS,
     }
+
+
+@pytest.fixture
+def make_runner(bench_config):
+    """Factory of experiment runners configured with the benchmark workload."""
+
+    def factory(protocol: str, *, seed: int = 0,
+                messages_per_run: int | None = None) -> ExperimentRunner:
+        return ExperimentRunner(
+            protocol,
+            seed=seed,
+            runs_per_level=bench_config["runs_per_level"],
+            messages_per_run=(
+                messages_per_run if messages_per_run is not None
+                else bench_config["messages_per_run"]
+            ),
+        )
+
+    return factory

@@ -1,0 +1,59 @@
+"""Ablation extension: contribution of each transformation family on DNS.
+
+Extends the transformation-family ablation (``test_bench_ablation_families``)
+to the DNS workload: the obfuscation engine is restricted to one family of
+Table I at a time and the resulting potency (lines, structs, call-graph size)
+and cost (buffer size) are compared against the full transformation set, on
+the DNS query specification resolved through the protocol registry.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.analysis import render_table
+from repro.codegen import generate_module
+from repro.metrics import measure_source
+from repro.protocols import registry
+from repro.transforms import Obfuscator, TRANSFORMATION_FAMILIES, default_transformations, family
+from repro.wire import WireCodec
+
+SETUP = registry.get("dns")
+
+
+def _measure(transformations, seed=0, passes=2):
+    graph = SETUP.graph_factory()
+    result = Obfuscator(transformations, seed=seed).obfuscate(graph, passes)
+    reference = measure_source(generate_module(graph))
+    metrics = measure_source(generate_module(result.graph)).normalized(reference)
+    codec = WireCodec(result.graph, seed=seed)
+    rng = Random(seed)
+    sizes = [len(codec.serialize(SETUP.message_generator(rng))) for _ in range(10)]
+    return result.applied_count, metrics, sum(sizes) / len(sizes)
+
+
+def test_dns_transformation_families(benchmark):
+    benchmark(lambda: Obfuscator(family("const"), seed=0).obfuscate(SETUP.graph_factory(), 1))
+
+    rows = []
+    applied, metrics, buffer_size = _measure(default_transformations())
+    rows.append(["all families", applied, f"{metrics.lines:.2f}", f"{metrics.structs:.2f}",
+                 f"{metrics.call_graph_size:.2f}", f"{buffer_size:.0f}"])
+    for name in sorted(TRANSFORMATION_FAMILIES):
+        applied, metrics, buffer_size = _measure(family(name))
+        rows.append([name, applied, f"{metrics.lines:.2f}", f"{metrics.structs:.2f}",
+                     f"{metrics.call_graph_size:.2f}", f"{buffer_size:.0f}"])
+    print()
+    print(render_table(
+        ["Family", "Applied", "Lines (norm)", "Structs (norm)", "CG size (norm)",
+         "Buffer (bytes)"],
+        rows,
+        title="Ablation — potency/cost per transformation family (DNS, 2 passes)",
+    ))
+
+    assert len(rows) == 1 + len(TRANSFORMATION_FAMILIES)
+    by_family = {row[0]: row for row in rows}
+    for row in rows:
+        assert float(row[2]) >= 0.99 and float(row[3]) >= 0.99
+    assert float(by_family["split"][3]) >= float(by_family["const"][3])
+    assert float(by_family["all families"][3]) > 1.0

@@ -1,0 +1,28 @@
+"""MQTT workload — comparative results (extension of the paper's Tables III/IV).
+
+Runs the paper's experiment protocol on the MQTT packet specification resolved
+through the protocol registry: for 1–4 obfuscations per node, the number of
+applied transformations, the normalized potency metrics and the absolute
+costs, each reported as ``avg[min; max]``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments import TABLE_HEADERS
+
+
+def test_table_mqtt(benchmark, bench_config, make_runner):
+    runner = make_runner("mqtt", seed=3)
+    # The benchmarked unit is one full experiment run at one obfuscation per node.
+    benchmark(lambda: runner.run_once(passes=1, run_index=0))
+
+    table = runner.run_table(levels=bench_config["levels"])
+    rows = [table[passes].table_row() for passes in sorted(table)]
+    print()
+    print(render_table(TABLE_HEADERS, rows,
+                       title="MQTT — normalized potency, absolute costs (extension)"))
+    for passes in bench_config["levels"][1:]:
+        assert table[passes].applied.mean > table[1].applied.mean
+    assert table[4].lines.mean >= table[1].lines.mean
+    assert table[4].structs.mean >= table[1].structs.mean

@@ -14,13 +14,16 @@ from __future__ import annotations
 from random import Random
 
 from repro.codegen import GeneratedCodec
-from repro.protocols import http
+from repro.protocols import http, registry
 from repro.transforms import Obfuscator
 from repro.wire import WireCodec
 
 
 def main() -> None:
-    graph = http.request_graph()
+    # The specification is resolved through the protocol registry; the message
+    # builders stay protocol-specific (they are the core application).
+    setup = registry.get("http")
+    graph = setup.graph_factory()
     request = http.build_request(
         "POST",
         "/api/v1/orders",
@@ -34,7 +37,7 @@ def main() -> None:
     print(plain.decode("latin-1"))
 
     # Version A of the obfuscated protocol: both peers embed the same library.
-    version_a = Obfuscator(seed=31).obfuscate(http.request_graph(), 2)
+    version_a = Obfuscator(seed=31).obfuscate(setup.graph_factory(), 2)
     client_a = GeneratedCodec(version_a.graph, seed=1)
     server_a = GeneratedCodec(version_a.graph, seed=2)
     wire_a = client_a.serialize(request)
@@ -44,7 +47,7 @@ def main() -> None:
     print("  -> server A recovered the request exactly\n")
 
     # Version B: regenerated with a different seed at a later deployment.
-    version_b = Obfuscator(seed=77).obfuscate(http.request_graph(), 2)
+    version_b = Obfuscator(seed=77).obfuscate(setup.graph_factory(), 2)
     server_b = GeneratedCodec(version_b.graph, seed=3)
     print(f"protocol version B ({version_b.applied_count} transformations) "
           f"differs on the wire: {GeneratedCodec(version_b.graph, seed=1).serialize(request) != wire_a}")
@@ -57,7 +60,7 @@ def main() -> None:
 
     # The application code is identical for every version: same logical messages.
     rng = Random(0)
-    workload = [http.random_request(rng) for _ in range(5)]
+    workload = [setup.message_generator(rng) for _ in range(5)]
     for message in workload:
         assert server_a.parse(client_a.serialize(message)) == message
     print(f"\n{len(workload)} random requests exchanged through version A without any change "

@@ -14,13 +14,16 @@ from __future__ import annotations
 from repro.analysis import render_table
 from repro.codegen import GeneratedCodec, generate_module
 from repro.metrics import measure_source
-from repro.protocols import modbus
+from repro.protocols import modbus, registry
 from repro.transforms import Obfuscator
 from repro.wire import WireCodec
 
 
 def main() -> None:
-    graph = modbus.request_graph()
+    # The specification is resolved through the protocol registry; the message
+    # builders stay protocol-specific (they are the core application).
+    setup = registry.get("modbus")
+    graph = setup.graph_factory()
     reference = measure_source(generate_module(graph))
     request = modbus.build_request(3, transaction_id=1, unit_id=17,
                                    start_address=107, quantity=3)
@@ -30,7 +33,7 @@ def main() -> None:
 
     rows = []
     for passes in (1, 2, 3, 4):
-        result = Obfuscator(seed=7).obfuscate(modbus.request_graph(), passes)
+        result = Obfuscator(seed=7).obfuscate(setup.graph_factory(), passes)
         metrics = measure_source(generate_module(result.graph)).normalized(reference)
         codec = GeneratedCodec(result.graph, seed=0)
         wire = codec.serialize(request)

@@ -1,19 +1,22 @@
-"""Experiment harnesses regenerating the paper's tables, figures and resilience study."""
+"""Experiment harnesses regenerating the paper's tables, figures and resilience study.
 
+Protocols are resolved through :mod:`repro.protocols.registry`;
+:class:`~repro.protocols.registry.ProtocolSetup` is re-exported here for
+backwards compatibility with the earlier hard-coded protocol table.
+"""
+
+from ..protocols.registry import ProtocolSetup
 from .resilience import ResilienceReport, run_resilience
 from .runner import (
-    PROTOCOLS,
     TABLE_HEADERS,
     ExperimentRunner,
     LevelSummary,
-    ProtocolSetup,
     RunResult,
 )
 
 __all__ = [
     "ExperimentRunner",
     "LevelSummary",
-    "PROTOCOLS",
     "ProtocolSetup",
     "ResilienceReport",
     "RunResult",

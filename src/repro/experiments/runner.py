@@ -2,7 +2,8 @@
 
 One *experiment* follows the paper's protocol exactly:
 
-1. pick a protocol specification (HTTP or Modbus request graph),
+1. pick a protocol specification from the protocol registry
+   (:mod:`repro.protocols.registry` — HTTP, Modbus, DNS, MQTT, ...),
 2. apply N obfuscation passes with randomly selected transformations,
 3. generate the serialization library source code (generation time),
 4. measure the potency metrics of the generated code, normalized by the
@@ -19,45 +20,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..analysis.regression import LinearFit, linear_regression
 from ..analysis.stats import Summary, summarize
 from ..codegen.emitter import generate_module
 from ..codegen.loader import GeneratedCodec
-from ..core.graph import FormatGraph
-from ..core.message import Message
 from ..metrics.cost import measure_messages, summarize as summarize_cost
 from ..metrics.potency import NormalizedPotency, PotencyMetrics, measure_source
-from ..protocols import http, modbus
+from ..protocols import registry
 from ..transforms.engine import Obfuscator
 from ..transforms.base import Transformation
-
-
-@dataclass(frozen=True)
-class ProtocolSetup:
-    """A protocol specification plus its core-application message generator."""
-
-    key: str
-    label: str
-    graph_factory: Callable[[], FormatGraph]
-    message_generator: Callable[[Random], Message]
-
-
-PROTOCOLS: dict[str, ProtocolSetup] = {
-    "http": ProtocolSetup(
-        key="http",
-        label="HTTP",
-        graph_factory=http.request_graph,
-        message_generator=http.random_request,
-    ),
-    "modbus": ProtocolSetup(
-        key="modbus",
-        label="TCP-Modbus",
-        graph_factory=modbus.request_graph,
-        message_generator=modbus.random_request,
-    ),
-}
 
 
 @dataclass(frozen=True)
@@ -134,9 +107,7 @@ class ExperimentRunner:
     _reference_buffer: float | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.protocol not in PROTOCOLS:
-            raise ValueError(f"unknown protocol {self.protocol!r}")
-        self.setup = PROTOCOLS[self.protocol]
+        self.setup = registry.get(self.protocol)
 
     # -- reference (non-obfuscated) measurements ------------------------------
 

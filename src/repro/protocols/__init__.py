@@ -1,13 +1,20 @@
 """Protocol specifications and core applications used in the evaluation.
 
 The paper evaluates the framework on two protocols: a binary protocol
-(TCP-Modbus) and a text protocol (HTTP/1.1).  Each protocol subpackage
-provides the message format graphs (the specification ``S`` of the paper) and
-a *core application* that builds random, well-formed logical messages — the
-role played by the simply-modbus-driven client and the simplified HTTP
-application in the paper's experiments.
+(TCP-Modbus) and a text protocol (HTTP/1.1).  Two further workloads extend
+the evaluation beyond the paper: DNS (binary, length-prefixed label
+sequences) and MQTT (binary, variable-length header).  Each protocol
+subpackage provides the message format graphs (the specification ``S`` of the
+paper) and a *core application* that builds random, well-formed logical
+messages — the role played by the simply-modbus-driven client and the
+simplified HTTP application in the paper's experiments.
+
+Protocol packages register themselves with :mod:`repro.protocols.registry` at
+import time; consumers resolve them through ``registry.get(key)`` /
+``registry.available()`` rather than importing the packages directly.
 """
 
-from . import http, modbus
+from . import registry
+from . import dns, http, modbus, mqtt
 
-__all__ = ["http", "modbus"]
+__all__ = ["dns", "http", "modbus", "mqtt", "registry"]

@@ -1,0 +1,62 @@
+"""DNS specification and core application (binary, length-prefixed workload)."""
+
+from .app import (
+    build_query,
+    build_response,
+    matching_response,
+    random_conversation,
+    random_domain,
+    random_query,
+    random_rdata,
+    random_response,
+    split_labels,
+)
+from .spec import (
+    CLASS_IN,
+    NAME_TERMINATOR,
+    QUERY_FLAGS,
+    RECORD_TYPES,
+    RESPONSE_FLAGS,
+    query_graph,
+    response_graph,
+)
+from .. import registry
+
+#: Alias kept so that the request/response naming used by the other protocol
+#: packages (and the shared fixtures) applies to DNS as well.
+request_graph = query_graph
+random_request = random_query
+
+SETUP = registry.register(
+    registry.ProtocolSetup(
+        key="dns",
+        label="DNS",
+        graph_factory=query_graph,
+        message_generator=random_query,
+        response_graph_factory=response_graph,
+        response_generator=random_response,
+        description="DNS queries/responses (binary, length-prefixed label sequences)",
+    )
+)
+
+__all__ = [
+    "CLASS_IN",
+    "NAME_TERMINATOR",
+    "QUERY_FLAGS",
+    "RECORD_TYPES",
+    "RESPONSE_FLAGS",
+    "SETUP",
+    "build_query",
+    "build_response",
+    "matching_response",
+    "query_graph",
+    "random_conversation",
+    "random_domain",
+    "random_query",
+    "random_rdata",
+    "random_request",
+    "random_response",
+    "request_graph",
+    "response_graph",
+    "split_labels",
+]

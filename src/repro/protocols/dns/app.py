@@ -1,0 +1,182 @@
+"""DNS core application.
+
+Builds random, well-formed logical DNS queries and responses used as the
+workload of the DNS experiments.  Domain names are drawn from pools of common
+labels; record data is drawn with the length appropriate to the record type
+(4 bytes for A, 16 for AAAA, a short opaque string otherwise).
+
+As everywhere in :mod:`repro.protocols`, the builders return
+:class:`~repro.core.message.Message` objects keyed by the field names of the
+non-obfuscated specification and are completely independent of the
+transformations applied to the graphs.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...core.message import Message
+from .spec import CLASS_IN, QUERY_FLAGS, RECORD_TYPES, RESPONSE_FLAGS
+
+#: (domain, type, class) triple describing one question.
+Question = tuple[str, int, int]
+
+#: (domain, type, class, ttl, rdata) tuple describing one answer record.
+Answer = tuple[str, int, int, int, bytes]
+
+_LABEL_POOL = ("www", "api", "mail", "cdn", "static", "example", "repro", "corp",
+               "internal", "edge", "eu", "us", "net", "org", "com", "io")
+_TXT_WORDS = (b"v=spf1", b"include:example.com", b"all", b"ok", b"probe")
+
+#: rdata size of the fixed-size record types (A and AAAA addresses).
+_FIXED_RDATA_SIZES = {1: 4, 28: 16}
+
+
+def split_labels(domain: str) -> list[str]:
+    """Split ``domain`` into its non-empty labels (``"www.example.com"`` style)."""
+    labels = [label for label in domain.split(".") if label]
+    for label in labels:
+        if len(label) > 63:
+            raise ValueError(f"label {label!r} exceeds the 63-byte DNS limit")
+    return labels
+
+
+def _set_name(message: Message, list_path: str, prefix: str, domain: str) -> None:
+    """Store ``domain`` as the label list rooted at ``list_path``."""
+    message.set(list_path, [])
+    for index, label in enumerate(split_labels(domain)):
+        message.set(f"{list_path}[{index}].{prefix}_label_text", label)
+
+
+# ---------------------------------------------------------------------------
+# message builders
+# ---------------------------------------------------------------------------
+
+
+def build_query(questions: list[Question], *, query_id: int = 0,
+                flags: int = QUERY_FLAGS, nscount: int = 0, arcount: int = 0) -> Message:
+    """Build a logical DNS query carrying ``questions``.
+
+    Each question is a ``(domain, qtype, qclass)`` triple; ``qdcount`` is a
+    derived counter and never appears in the logical message.
+    """
+    message = Message()
+    message.set("query_id", query_id)
+    message.set("query_flags", flags)
+    message.set("query_ancount", 0)
+    message.set("query_nscount", nscount)
+    message.set("query_arcount", arcount)
+    message.set("query_questions", [])
+    for index, (domain, qtype, qclass) in enumerate(questions):
+        prefix = f"query_questions[{index}]"
+        _set_name(message, f"{prefix}.query_question_name", "query_question", domain)
+        message.set(f"{prefix}.query_qtype", qtype)
+        message.set(f"{prefix}.query_qclass", qclass)
+    return message
+
+
+def build_response(questions: list[Question], answers: list[Answer], *,
+                   response_id: int = 0, flags: int = RESPONSE_FLAGS,
+                   nscount: int = 0, arcount: int = 0) -> Message:
+    """Build a logical DNS response echoing ``questions`` and carrying ``answers``."""
+    message = Message()
+    message.set("response_id", response_id)
+    message.set("response_flags", flags)
+    message.set("response_nscount", nscount)
+    message.set("response_arcount", arcount)
+    message.set("response_questions", [])
+    for index, (domain, qtype, qclass) in enumerate(questions):
+        prefix = f"response_questions[{index}]"
+        _set_name(message, f"{prefix}.response_question_name", "response_question", domain)
+        message.set(f"{prefix}.response_qtype", qtype)
+        message.set(f"{prefix}.response_qclass", qclass)
+    message.set("response_answers", [])
+    for index, (domain, rtype, rclass, ttl, rdata) in enumerate(answers):
+        prefix = f"response_answers[{index}]"
+        _set_name(message, f"{prefix}.answer_name", "answer", domain)
+        message.set(f"{prefix}.answer_type", rtype)
+        message.set(f"{prefix}.answer_class", rclass)
+        message.set(f"{prefix}.answer_ttl", ttl)
+        message.set(f"{prefix}.answer_rdata", bytes(rdata))
+    return message
+
+
+# ---------------------------------------------------------------------------
+# random workload generation
+# ---------------------------------------------------------------------------
+
+
+def random_domain(rng: Random) -> str:
+    """Draw a random domain of two to four labels."""
+    depth = rng.randrange(2, 5)
+    return ".".join(rng.choice(_LABEL_POOL) for _ in range(depth))
+
+
+def random_rdata(rng: Random, record_type: int) -> bytes:
+    """Draw record data sized appropriately for ``record_type``."""
+    fixed = _FIXED_RDATA_SIZES.get(record_type)
+    if fixed is not None:
+        return bytes(rng.randrange(256) for _ in range(fixed))
+    if record_type == 16:  # TXT: short readable strings
+        return b" ".join(rng.choice(_TXT_WORDS) for _ in range(rng.randrange(1, 4)))
+    return bytes(rng.randrange(256) for _ in range(rng.randrange(1, 17)))
+
+
+def _random_question(rng: Random) -> Question:
+    return (random_domain(rng), rng.choice(RECORD_TYPES), CLASS_IN)
+
+
+def random_query(rng: Random, *, question_count: int | None = None,
+                 query_id: int | None = None) -> Message:
+    """Draw a random, well-formed DNS query."""
+    count = question_count if question_count is not None else rng.randrange(1, 4)
+    return build_query(
+        [_random_question(rng) for _ in range(count)],
+        query_id=query_id if query_id is not None else rng.randrange(0, 0x10000),
+    )
+
+
+def random_response(rng: Random, *, response_id: int | None = None) -> Message:
+    """Draw a random, well-formed DNS response."""
+    questions = [_random_question(rng) for _ in range(rng.randrange(1, 3))]
+    answers: list[Answer] = []
+    for domain, qtype, qclass in questions:
+        for _ in range(rng.randrange(0, 3)):
+            answers.append(
+                (domain, qtype, qclass, rng.randrange(0, 86400), random_rdata(rng, qtype))
+            )
+    return build_response(
+        questions,
+        answers,
+        response_id=response_id if response_id is not None else rng.randrange(0, 0x10000),
+    )
+
+
+def matching_response(query: Message, rng: Random) -> Message:
+    """Draw a response answering every question of ``query``."""
+    questions: list[Question] = []
+    for index in range(query.list_length("query_questions")):
+        prefix = f"query_questions[{index}]"
+        labels = [
+            query.get(f"{prefix}.query_question_name[{j}].query_question_label_text")
+            for j in range(query.list_length(f"{prefix}.query_question_name"))
+        ]
+        questions.append(
+            (".".join(labels), query.get(f"{prefix}.query_qtype"),
+             query.get(f"{prefix}.query_qclass"))
+        )
+    answers = [
+        (domain, qtype, qclass, rng.randrange(60, 3600), random_rdata(rng, qtype))
+        for domain, qtype, qclass in questions
+    ]
+    return build_response(questions, answers, response_id=query.get("query_id"))
+
+
+def random_conversation(rng: Random, exchanges: int) -> list[tuple[str, Message]]:
+    """Draw an alternating query/response DNS conversation."""
+    conversation: list[tuple[str, Message]] = []
+    for _ in range(exchanges):
+        query = random_query(rng)
+        conversation.append(("request", query))
+        conversation.append(("response", matching_response(query, rng)))
+    return conversation

@@ -1,0 +1,177 @@
+"""DNS message format specifications.
+
+DNS is the binary, length-prefixed workload added on top of the paper's two
+case studies: domain names are *label sequences* — each label is a one-byte
+length prefix followed by that many characters, and the sequence is terminated
+by a zero byte.  This maps directly onto the format-graph vocabulary:
+
+* a label is a Sequence of a derived one-byte LENGTH field and a text terminal
+  bounded by it,
+* a name is a Repetition of labels whose DELIMITED boundary is the ``\\x00``
+  terminator (the same construction as the empty CRLF line that ends the HTTP
+  header block),
+* the header counts (``qdcount``, ``ancount``) are derived COUNTER fields
+  backing the question and answer Tabular sections, like the Modbus byte
+  counts.
+
+Modelling notes
+---------------
+* Name compression (pointer labels, RFC 1035 §4.1.4) is not modelled: every
+  name is spelled out in full, which is also what queries on the wire look
+  like.
+* The query graph carries ``nscount``/``arcount`` as plain logical fields (the
+  core application sets them to 0); the response graph models the answer
+  section and leaves authority/additional records out of scope, mirroring the
+  simplifications of the paper's "simplified HTTP" application.
+* ``rdata`` is an opaque byte string bounded by the derived ``rdlength``
+  field, so record payloads of any type round-trip unchanged.
+"""
+
+from __future__ import annotations
+
+from ...core.boundary import Boundary
+from ...core.builder import (
+    build_graph,
+    bytes_field,
+    repetition,
+    sequence,
+    tabular,
+    text_field,
+    uint,
+)
+from ...core.graph import FormatGraph
+from ...core.node import Node
+
+#: Record types exercised by the core application (A, NS, CNAME, PTR, MX, TXT, AAAA).
+RECORD_TYPES = (1, 2, 5, 12, 15, 16, 28)
+
+#: The Internet class (IN), the only class the evaluation uses.
+CLASS_IN = 1
+
+#: Terminator of a label sequence: the zero-length root label.
+NAME_TERMINATOR = b"\x00"
+
+#: Flag words used by the core application (standard query / standard response).
+QUERY_FLAGS = 0x0100
+RESPONSE_FLAGS = 0x8180
+
+
+def _name(prefix: str) -> Node:
+    """A domain name: labels (length byte + text) terminated by a zero byte."""
+    label = sequence(
+        f"{prefix}_label",
+        [
+            uint(f"{prefix}_label_len", 1, doc="derived: length of the label"),
+            text_field(
+                f"{prefix}_label_text",
+                Boundary.length(f"{prefix}_label_len"),
+                doc="one domain-name label",
+            ),
+        ],
+        doc="one length-prefixed label",
+    )
+    return repetition(
+        f"{prefix}_name",
+        label,
+        boundary=Boundary.delimited(NAME_TERMINATOR),
+        doc="label sequence terminated by the zero-length root label",
+    )
+
+
+def _header(kind: str, *, question_counter: str, answer_counter: str | None) -> list[Node]:
+    """The twelve-byte DNS header of a ``kind`` (query/response) message."""
+    fields = [
+        uint(f"{kind}_id", 2, doc="transaction identifier"),
+        uint(f"{kind}_flags", 2, doc="flag word (QR, opcode, RD, RA, rcode)"),
+        uint(question_counter, 2, doc="derived: number of question entries"),
+    ]
+    if answer_counter is None:
+        fields.append(uint(f"{kind}_ancount", 2, doc="number of answer records"))
+    else:
+        fields.append(uint(answer_counter, 2, doc="derived: number of answer records"))
+    fields.extend(
+        [
+            uint(f"{kind}_nscount", 2, doc="number of authority records"),
+            uint(f"{kind}_arcount", 2, doc="number of additional records"),
+        ]
+    )
+    return fields
+
+
+def _question(prefix: str) -> Node:
+    """One entry of the question section: name, type, class."""
+    return sequence(
+        f"{prefix}_question",
+        [
+            _name(f"{prefix}_question"),
+            uint(f"{prefix}_qtype", 2, doc="query type (A, NS, CNAME, ...)"),
+            uint(f"{prefix}_qclass", 2, doc="query class (IN)"),
+        ],
+        doc="one question entry",
+    )
+
+
+def query_graph() -> FormatGraph:
+    """Message format graph of DNS queries (header + question section)."""
+    root = sequence(
+        "dns_query",
+        [
+            *_header("query", question_counter="query_qdcount", answer_counter=None),
+            tabular(
+                "query_questions",
+                _question("query"),
+                counter="query_qdcount",
+                doc="question section",
+            ),
+        ],
+        doc="DNS query message",
+    )
+    return build_graph(root, name="dns_query")
+
+
+def _answer() -> Node:
+    """One resource record of the answer section."""
+    return sequence(
+        "answer_record",
+        [
+            _name("answer"),
+            uint("answer_type", 2, doc="record type"),
+            uint("answer_class", 2, doc="record class (IN)"),
+            uint("answer_ttl", 4, doc="time to live, seconds"),
+            uint("answer_rdlength", 2, doc="derived: length of the record data"),
+            bytes_field(
+                "answer_rdata",
+                Boundary.length("answer_rdlength"),
+                doc="record data (opaque bytes)",
+            ),
+        ],
+        doc="one answer resource record",
+    )
+
+
+def response_graph() -> FormatGraph:
+    """Message format graph of DNS responses (header + questions + answers)."""
+    root = sequence(
+        "dns_response",
+        [
+            *_header(
+                "response",
+                question_counter="response_qdcount",
+                answer_counter="response_ancount",
+            ),
+            tabular(
+                "response_questions",
+                _question("response"),
+                counter="response_qdcount",
+                doc="echoed question section",
+            ),
+            tabular(
+                "response_answers",
+                _answer(),
+                counter="response_ancount",
+                doc="answer section",
+            ),
+        ],
+        doc="DNS response message",
+    )
+    return build_graph(root, name="dns_response")

@@ -13,8 +13,22 @@ from .app import (
     random_response,
 )
 from .spec import CRLF, HEADER_SEPARATOR, SP, request_graph, response_graph
+from .. import registry
+
+SETUP = registry.register(
+    registry.ProtocolSetup(
+        key="http",
+        label="HTTP",
+        graph_factory=request_graph,
+        message_generator=random_request,
+        response_graph_factory=response_graph,
+        response_generator=random_response,
+        description="Simplified HTTP/1.1 (text protocol of the paper's evaluation)",
+    )
+)
 
 __all__ = [
+    "SETUP",
     "CRLF",
     "HEADER_NAMES",
     "HEADER_SEPARATOR",

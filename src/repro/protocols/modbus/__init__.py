@@ -18,8 +18,22 @@ from .spec import (
     request_graph,
     response_graph,
 )
+from .. import registry
+
+SETUP = registry.register(
+    registry.ProtocolSetup(
+        key="modbus",
+        label="TCP-Modbus",
+        graph_factory=request_graph,
+        message_generator=random_request,
+        response_graph_factory=response_graph,
+        response_generator=random_response,
+        description="TCP-Modbus (binary protocol of the paper's evaluation)",
+    )
+)
 
 __all__ = [
+    "SETUP",
     "FUNCTION_CODES",
     "READ_FUNCTION_CODES",
     "WRITE_SINGLE_FUNCTION_CODES",

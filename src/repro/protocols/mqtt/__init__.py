@@ -1,0 +1,58 @@
+"""MQTT specification and core application (variable-length-header workload)."""
+
+from .app import (
+    build_connect,
+    build_pingreq,
+    build_publish,
+    random_packet,
+    random_payload,
+    random_session,
+    random_topic,
+)
+from .spec import (
+    CONNECT,
+    PACKET_TYPES,
+    PINGREQ,
+    PROTOCOL_LEVEL,
+    PROTOCOL_NAME,
+    PUBLISH_QOS0,
+    PUBLISH_QOS1,
+    packet_graph,
+)
+from .. import registry
+
+#: Alias kept so that the request-direction naming used by the other protocol
+#: packages (and the shared fixtures) applies to MQTT as well.
+request_graph = packet_graph
+random_request = random_packet
+
+SETUP = registry.register(
+    registry.ProtocolSetup(
+        key="mqtt",
+        label="MQTT",
+        graph_factory=packet_graph,
+        message_generator=random_packet,
+        description="MQTT CONNECT/PUBLISH packets (binary, variable-length header)",
+    )
+)
+
+__all__ = [
+    "CONNECT",
+    "PACKET_TYPES",
+    "PINGREQ",
+    "PROTOCOL_LEVEL",
+    "PROTOCOL_NAME",
+    "PUBLISH_QOS0",
+    "PUBLISH_QOS1",
+    "SETUP",
+    "build_connect",
+    "build_pingreq",
+    "build_publish",
+    "packet_graph",
+    "random_packet",
+    "random_payload",
+    "random_request",
+    "random_session",
+    "random_topic",
+    "request_graph",
+]

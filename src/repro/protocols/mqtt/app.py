@@ -1,0 +1,136 @@
+"""MQTT core application.
+
+Builds random, well-formed logical MQTT packets (CONNECT, PUBLISH at QoS 0
+and 1, PINGREQ) used as the workload of the MQTT experiments.  Topics and
+client identifiers are drawn from pools of realistic names; payloads are short
+opaque byte strings.
+
+The builders return :class:`~repro.core.message.Message` objects keyed by the
+field names of the non-obfuscated specification; derived fields (remaining
+length, string lengths) never appear in the logical message.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...core.message import Message
+from .spec import (
+    CONNECT,
+    PACKET_TYPES,
+    PINGREQ,
+    PROTOCOL_LEVEL,
+    PROTOCOL_NAME,
+    PUBLISH_QOS0,
+    PUBLISH_QOS1,
+)
+
+_CLIENT_IDS = ("sensor-01", "sensor-02", "gateway-a", "gateway-b", "probe-7",
+               "meter-42", "repro-client")
+_TOPIC_SEGMENTS = ("factory", "line", "cell", "sensors", "temperature",
+                   "pressure", "humidity", "status", "alerts", "metrics")
+_PAYLOAD_WORDS = (b"21.5", b"ok", b"37", b"low", b"high", b"0.93", b"ready",
+                  b"fault", b"idle")
+
+
+# ---------------------------------------------------------------------------
+# packet builders
+# ---------------------------------------------------------------------------
+
+
+_CONNECT_PREFIX = "mqtt_body.connect_block"
+_QOS0_PREFIX = "mqtt_body.publish_qos0_block"
+_QOS1_PREFIX = "mqtt_body.publish_qos1_block"
+
+
+def build_connect(client_id: str, *, keepalive: int = 60, flags: int = 0x02) -> Message:
+    """Build a logical CONNECT packet (clean-session flag set by default)."""
+    message = Message()
+    message.set("packet_type", CONNECT)
+    message.set(f"{_CONNECT_PREFIX}.connect_proto_name", PROTOCOL_NAME)
+    message.set(f"{_CONNECT_PREFIX}.connect_proto_level", PROTOCOL_LEVEL)
+    message.set(f"{_CONNECT_PREFIX}.connect_flags", flags)
+    message.set(f"{_CONNECT_PREFIX}.connect_keepalive", keepalive)
+    message.set(f"{_CONNECT_PREFIX}.connect_client_id", client_id)
+    return message
+
+
+def build_publish(topic: str, payload: bytes, *, qos: int = 0,
+                  packet_id: int | None = None) -> Message:
+    """Build a logical PUBLISH packet at QoS 0 or 1.
+
+    QoS 1 packets carry a ``packet_id`` (default 1); QoS 0 packets must not.
+    """
+    message = Message()
+    if qos == 0:
+        if packet_id is not None:
+            raise ValueError("QoS-0 PUBLISH packets carry no packet identifier")
+        message.set("packet_type", PUBLISH_QOS0)
+        message.set(f"{_QOS0_PREFIX}.publish_qos0_topic", topic)
+        message.set(f"{_QOS0_PREFIX}.publish_qos0_payload", bytes(payload))
+    elif qos == 1:
+        message.set("packet_type", PUBLISH_QOS1)
+        message.set(f"{_QOS1_PREFIX}.publish_qos1_topic", topic)
+        message.set(f"{_QOS1_PREFIX}.publish_qos1_packet_id",
+                    packet_id if packet_id is not None else 1)
+        message.set(f"{_QOS1_PREFIX}.publish_qos1_payload", bytes(payload))
+    else:
+        raise ValueError(f"unsupported QoS level {qos} (modelled: 0 and 1)")
+    return message
+
+
+def build_pingreq() -> Message:
+    """Build a logical PINGREQ packet (empty body)."""
+    message = Message()
+    message.set("packet_type", PINGREQ)
+    return message
+
+
+# ---------------------------------------------------------------------------
+# random workload generation
+# ---------------------------------------------------------------------------
+
+
+def random_topic(rng: Random) -> str:
+    """Draw a random slash-separated topic of two to four levels."""
+    depth = rng.randrange(2, 5)
+    return "/".join(rng.choice(_TOPIC_SEGMENTS) for _ in range(depth))
+
+
+def random_payload(rng: Random) -> bytes:
+    """Draw a short application payload."""
+    words = [rng.choice(_PAYLOAD_WORDS) for _ in range(rng.randrange(1, 6))]
+    return b" ".join(words)
+
+
+def random_packet(rng: Random, *, packet_type: int | None = None) -> Message:
+    """Draw a random, well-formed MQTT packet of any modelled family."""
+    packet_type = packet_type if packet_type is not None else rng.choice(PACKET_TYPES)
+    if packet_type == CONNECT:
+        return build_connect(
+            rng.choice(_CLIENT_IDS),
+            keepalive=rng.randrange(10, 3600),
+            flags=rng.choice((0x00, 0x02)),
+        )
+    if packet_type == PUBLISH_QOS0:
+        return build_publish(random_topic(rng), random_payload(rng), qos=0)
+    if packet_type == PUBLISH_QOS1:
+        return build_publish(
+            random_topic(rng),
+            random_payload(rng),
+            qos=1,
+            packet_id=rng.randrange(1, 0x10000),
+        )
+    if packet_type == PINGREQ:
+        return build_pingreq()
+    raise ValueError(f"unsupported packet type 0x{packet_type:02X}")
+
+
+def random_session(rng: Random, publishes: int) -> list[Message]:
+    """Draw a plausible session: CONNECT, then ``publishes`` PUBLISH packets."""
+    session = [random_packet(rng, packet_type=CONNECT)]
+    for _ in range(publishes):
+        session.append(
+            random_packet(rng, packet_type=rng.choice((PUBLISH_QOS0, PUBLISH_QOS1)))
+        )
+    return session

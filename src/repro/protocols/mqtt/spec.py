@@ -1,0 +1,159 @@
+"""MQTT message format specifications (CONNECT / PUBLISH packet families).
+
+MQTT is the variable-length-header workload added on top of the paper's two
+case studies.  A packet is a one-byte fixed header (packet type and flags), a
+remaining-length field covering everything that follows, and a variable header
+plus payload whose layout depends on the packet type — the same
+"one graph describes every message format" construction as the Modbus
+function-code blocks:
+
+* the remaining length is a derived LENGTH field backing the packet body,
+* each packet family is an Optional block keyed on the fixed-header byte,
+* MQTT strings (protocol name, client identifier, topic) are two-byte derived
+  LENGTH prefixes followed by the text, and
+* the QoS-0 PUBLISH payload stretches to the end of the remaining-length
+  window (an END boundary, like the HTTP body).
+
+Modelling notes
+---------------
+* The MQTT remaining length is a one-to-four byte varint on the wire; the
+  format-graph vocabulary derives length fields as fixed-width integers, so it
+  is modelled as a two-byte field — the same style of simplification as the
+  paper's simplified HTTP application.  All other layouts follow MQTT 3.1.1.
+* Two PUBLISH families are modelled: QoS 0 (no packet identifier, payload runs
+  to the end of the packet) and QoS 1 (packet identifier, length-prefixed
+  payload so the graph also exercises a bounded binary payload).
+* PINGREQ is supported as the degenerate family with an empty body.
+"""
+
+from __future__ import annotations
+
+from ...core.boundary import Boundary
+from ...core.builder import (
+    build_graph,
+    bytes_field,
+    optional,
+    remaining_bytes,
+    sequence,
+    text_field,
+    uint,
+)
+from ...core.graph import FormatGraph
+from ...core.node import Node
+
+#: Fixed-header byte of each modelled packet family (type nibble + flags).
+CONNECT = 0x10
+PUBLISH_QOS0 = 0x30
+PUBLISH_QOS1 = 0x32
+PINGREQ = 0xC0
+
+#: Every packet family understood by the specification.
+PACKET_TYPES = (CONNECT, PUBLISH_QOS0, PUBLISH_QOS1, PINGREQ)
+
+#: Protocol name and level carried by CONNECT packets (MQTT 3.1.1).
+PROTOCOL_NAME = "MQTT"
+PROTOCOL_LEVEL = 4
+
+
+def _mqtt_string(prefix: str, *, doc: str) -> list[Node]:
+    """A two-byte length prefix followed by the UTF-8 text (MQTT string)."""
+    return [
+        uint(f"{prefix}_len", 2, doc=f"derived: length of the {doc}"),
+        text_field(f"{prefix}", Boundary.length(f"{prefix}_len"), doc=doc),
+    ]
+
+
+def _connect_block() -> Node:
+    body = sequence(
+        "connect",
+        [
+            *_mqtt_string("connect_proto_name", doc="protocol name ('MQTT')"),
+            uint("connect_proto_level", 1, doc="protocol level (4 for MQTT 3.1.1)"),
+            uint("connect_flags", 1, doc="connect flag bits"),
+            uint("connect_keepalive", 2, doc="keep-alive interval, seconds"),
+            *_mqtt_string("connect_client_id", doc="client identifier"),
+        ],
+        doc="CONNECT variable header and payload",
+    )
+    return optional(
+        "connect_block",
+        body,
+        presence_ref="packet_type",
+        presence_value=CONNECT,
+        doc="body of CONNECT packets",
+    )
+
+
+def _publish_qos1_block() -> Node:
+    body = sequence(
+        "publish_qos1",
+        [
+            *_mqtt_string("publish_qos1_topic", doc="topic name"),
+            uint("publish_qos1_packet_id", 2, doc="packet identifier (QoS 1)"),
+            uint("publish_qos1_payload_len", 2, doc="derived: length of the payload"),
+            bytes_field(
+                "publish_qos1_payload",
+                Boundary.length("publish_qos1_payload_len"),
+                doc="application payload",
+            ),
+        ],
+        doc="PUBLISH (QoS 1) variable header and payload",
+    )
+    return optional(
+        "publish_qos1_block",
+        body,
+        presence_ref="packet_type",
+        presence_value=PUBLISH_QOS1,
+        doc="body of QoS-1 PUBLISH packets",
+    )
+
+
+def _publish_qos0_block() -> Node:
+    body = sequence(
+        "publish_qos0",
+        [
+            *_mqtt_string("publish_qos0_topic", doc="topic name"),
+            remaining_bytes(
+                "publish_qos0_payload",
+                doc="application payload, to the end of the packet",
+            ),
+        ],
+        doc="PUBLISH (QoS 0) variable header and payload",
+    )
+    return optional(
+        "publish_qos0_block",
+        body,
+        presence_ref="packet_type",
+        presence_value=PUBLISH_QOS0,
+        doc="body of QoS-0 PUBLISH packets",
+    )
+
+
+def packet_graph() -> FormatGraph:
+    """Message format graph of every MQTT packet family the evaluation exercises.
+
+    The QoS-0 PUBLISH block comes last because its payload is greedy within
+    the remaining-length window.
+    """
+    body = sequence(
+        "mqtt_body",
+        [
+            _connect_block(),
+            _publish_qos1_block(),
+            _publish_qos0_block(),
+        ],
+        boundary=Boundary.length("remaining_length"),
+        doc="variable header and payload, covered by the remaining length",
+    )
+    root = sequence(
+        "mqtt_packet",
+        [
+            uint("packet_type", 1, doc="fixed header: packet type and flags"),
+            uint("remaining_length", 2,
+                 doc="derived: number of body bytes (varint on real wire, "
+                     "modelled as two bytes)"),
+            body,
+        ],
+        doc="MQTT control packet",
+    )
+    return build_graph(root, name="mqtt_packet")

@@ -1,0 +1,114 @@
+"""The pluggable protocol registry.
+
+Every protocol family evaluated by the pipeline — the paper's two case
+studies (HTTP/1.1 and TCP-Modbus) as well as the follow-up workloads (DNS,
+MQTT, ...) — is described by a :class:`ProtocolSetup`: the message format
+graph factories (the specification ``S`` of the paper) together with the core
+application's random message generators.
+
+Protocol packages register themselves at import time with :func:`register`,
+and every consumer — the experiment runner, the benchmark harness, the test
+fixtures and the examples — resolves protocols through :func:`get` /
+:func:`available` instead of a hard-coded dict.  Adding a protocol is
+therefore a drop-in module under :mod:`repro.protocols`; see
+``docs/adding-a-protocol.md`` for the authoring guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Iterator
+
+from ..core.graph import FormatGraph
+from ..core.message import Message
+
+GraphFactory = Callable[[], FormatGraph]
+MessageGenerator = Callable[[Random], Message]
+
+
+class ProtocolRegistryError(ValueError):
+    """Raised on duplicate registrations and unknown protocol lookups."""
+
+
+@dataclass(frozen=True)
+class ProtocolSetup:
+    """A protocol specification plus its core-application message generators.
+
+    ``graph_factory`` / ``message_generator`` describe the primary (request)
+    direction used by the experiment runner; protocols that also model the
+    reverse direction provide ``response_graph_factory`` /
+    ``response_generator`` so that the whole test and benchmark surface covers
+    both graphs.
+    """
+
+    key: str
+    label: str
+    graph_factory: GraphFactory
+    message_generator: MessageGenerator
+    response_graph_factory: GraphFactory | None = None
+    response_generator: MessageGenerator | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.response_graph_factory is None) != (self.response_generator is None):
+            raise ProtocolRegistryError(
+                f"protocol {self.key!r} must set response_graph_factory and "
+                f"response_generator together (or neither)"
+            )
+
+    def directions(self) -> Iterator[tuple[str, GraphFactory, MessageGenerator]]:
+        """Yield ``(direction, graph factory, message generator)`` tuples."""
+        yield "request", self.graph_factory, self.message_generator
+        if self.response_graph_factory is not None and self.response_generator is not None:
+            yield "response", self.response_graph_factory, self.response_generator
+
+
+_REGISTRY: dict[str, ProtocolSetup] = {}
+
+
+def register(setup: ProtocolSetup) -> ProtocolSetup:
+    """Register ``setup`` under its key; duplicate keys are an error.
+
+    Returns the setup so registration can be used in assignments::
+
+        SETUP = registry.register(ProtocolSetup(key="dns", ...))
+    """
+    if setup.key in _REGISTRY:
+        raise ProtocolRegistryError(
+            f"protocol {setup.key!r} is already registered "
+            f"(by {_REGISTRY[setup.key].label!r})"
+        )
+    _REGISTRY[setup.key] = setup
+    return setup
+
+
+def unregister(key: str) -> None:
+    """Remove a registered protocol (mainly for tests of the registry itself)."""
+    if key not in _REGISTRY:
+        raise ProtocolRegistryError(f"protocol {key!r} is not registered")
+    del _REGISTRY[key]
+
+
+def get(key: str) -> ProtocolSetup:
+    """Return the setup registered under ``key``.
+
+    Raises :class:`ProtocolRegistryError` (a :class:`ValueError`) naming the
+    available protocols when the key is unknown.
+    """
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ProtocolRegistryError(
+            f"unknown protocol {key!r}; available: {', '.join(available()) or 'none'}"
+        ) from None
+
+
+def available() -> tuple[str, ...]:
+    """Sorted keys of every registered protocol."""
+    return tuple(sorted(_REGISTRY))
+
+
+def setups() -> tuple[ProtocolSetup, ...]:
+    """Every registered setup, in key order."""
+    return tuple(_REGISTRY[key] for key in available())

@@ -89,7 +89,9 @@ class Obfuscator:
         """Apply at most ``budget`` transformations, visiting nodes round-robin.
 
         Used by ablation studies that need a fixed number of applications
-        rather than a per-node parameter.
+        rather than a per-node parameter.  ``result.passes`` counts only the
+        sweeps that applied at least one transformation: a final sweep that
+        finds nothing applicable does not inflate the count.
         """
         working = graph.clone()
         result = ObfuscationResult(original=graph, graph=working, passes=0)
@@ -106,7 +108,8 @@ class Obfuscator:
                 if record is not None:
                     result.records.append(record)
                     applied = True
-            result.passes += 1
+            if applied:
+                result.passes += 1
         return result
 
     # -- internals ------------------------------------------------------------

@@ -1,4 +1,9 @@
-"""Shared fixtures of the test suite."""
+"""Shared fixtures of the test suite.
+
+The protocol-parametrized fixtures are built from the protocol registry, so a
+newly registered protocol family is automatically covered by every graph
+validation, obfuscation round-trip and codegen equivalence test.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +11,7 @@ from random import Random
 
 import pytest
 
-from repro.protocols import http, modbus
+from repro.protocols import http, modbus, registry
 
 
 @pytest.fixture
@@ -36,10 +41,9 @@ def http_response_graph():
 
 
 PROTOCOL_CASES = [
-    ("modbus_request", modbus.request_graph, modbus.random_request),
-    ("modbus_response", modbus.response_graph, modbus.random_response),
-    ("http_request", http.request_graph, http.random_request),
-    ("http_response", http.response_graph, http.random_response),
+    (f"{setup.key}_{direction}", graph_factory, generator)
+    for setup in registry.setups()
+    for direction, graph_factory, generator in setup.directions()
 ]
 
 

@@ -91,7 +91,21 @@ class TestObfuscator:
     def test_node_budget_mode(self, modbus_request_graph):
         result = Obfuscator(seed=0).obfuscate_node_budget(modbus_request_graph, 10)
         assert result.applied_count == 10
+        assert result.passes >= 1
         validate_graph(result.graph)
+
+    def test_node_budget_counts_only_effective_passes(self, modbus_request_graph):
+        """Regression: a sweep that applies nothing must not inflate the pass count."""
+        result = Obfuscator(transformations=[], seed=0).obfuscate_node_budget(
+            modbus_request_graph, 10
+        )
+        assert result.applied_count == 0
+        assert result.passes == 0
+
+    def test_node_budget_zero(self, modbus_request_graph):
+        result = Obfuscator(seed=0).obfuscate_node_budget(modbus_request_graph, 0)
+        assert result.applied_count == 0
+        assert result.passes == 0
 
     def test_module_level_helper(self, http_request_graph):
         result = obfuscate(http_request_graph, 1, seed=0)

@@ -6,7 +6,7 @@ from random import Random
 
 import pytest
 
-from repro.experiments import PROTOCOLS, TABLE_HEADERS, ExperimentRunner, run_resilience
+from repro.experiments import TABLE_HEADERS, ExperimentRunner, run_resilience
 from repro.pre import (
     cluster_messages,
     infer_fields,
@@ -18,7 +18,7 @@ from repro.pre import (
     score_inference,
     similarity,
 )
-from repro.protocols import modbus
+from repro.protocols import modbus, registry
 from repro.transforms import Obfuscator
 from repro.wire import WireCodec
 
@@ -131,8 +131,15 @@ class TestExperimentRunner:
             ExperimentRunner("ftp")
 
     def test_protocol_registry(self):
-        assert set(PROTOCOLS) == {"http", "modbus"}
+        assert set(registry.available()) >= {"http", "modbus", "dns", "mqtt"}
         assert len(TABLE_HEADERS) == 10
+
+    def test_runner_works_for_every_registered_protocol(self):
+        for key in registry.available():
+            runner = ExperimentRunner(key, seed=0, runs_per_level=1, messages_per_run=2)
+            run = runner.run_once(passes=1, run_index=0)
+            assert run.protocol == key
+            assert run.buffer_size > 0.0
 
     def test_single_run_measurements(self):
         runner = ExperimentRunner("http", seed=0, runs_per_level=1, messages_per_run=3)

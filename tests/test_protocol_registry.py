@@ -1,0 +1,115 @@
+"""Tests of the pluggable protocol registry."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.message import Message
+from repro.experiments import ExperimentRunner
+from repro.protocols import registry
+from repro.protocols.registry import ProtocolRegistryError, ProtocolSetup
+
+
+def _dummy_setup(key: str) -> ProtocolSetup:
+    from repro.core.builder import build_graph, sequence, uint
+
+    def graph_factory():
+        return build_graph(sequence("dummy_root", [uint("dummy_field", 1)]), name=key)
+
+    def message_generator(rng: Random) -> Message:
+        message = Message()
+        message.set("dummy_field", rng.randrange(256))
+        return message
+
+    return ProtocolSetup(
+        key=key,
+        label=key.upper(),
+        graph_factory=graph_factory,
+        message_generator=message_generator,
+    )
+
+
+class TestRegistry:
+    def test_builtin_protocols_registered(self):
+        assert set(registry.available()) >= {"http", "modbus", "dns", "mqtt"}
+
+    def test_available_is_sorted(self):
+        assert list(registry.available()) == sorted(registry.available())
+
+    def test_get_returns_setup(self):
+        setup = registry.get("dns")
+        assert setup.key == "dns"
+        assert setup.label == "DNS"
+        assert callable(setup.graph_factory)
+        assert callable(setup.message_generator)
+
+    def test_get_unknown_key_names_available(self):
+        with pytest.raises(ProtocolRegistryError, match="http"):
+            registry.get("ftp")
+        with pytest.raises(ValueError):  # ProtocolRegistryError is a ValueError
+            registry.get("ftp")
+
+    def test_register_and_unregister(self):
+        setup = _dummy_setup("dummy_proto")
+        registry.register(setup)
+        try:
+            assert "dummy_proto" in registry.available()
+            assert registry.get("dummy_proto") is setup
+        finally:
+            registry.unregister("dummy_proto")
+        assert "dummy_proto" not in registry.available()
+
+    def test_duplicate_key_rejected(self):
+        registry.register(_dummy_setup("dummy_dup"))
+        try:
+            with pytest.raises(ProtocolRegistryError, match="already registered"):
+                registry.register(_dummy_setup("dummy_dup"))
+        finally:
+            registry.unregister("dummy_dup")
+
+    def test_duplicate_builtin_rejected(self):
+        with pytest.raises(ProtocolRegistryError):
+            registry.register(_dummy_setup("http"))
+
+    def test_unregister_unknown_key_rejected(self):
+        with pytest.raises(ProtocolRegistryError):
+            registry.unregister("never_registered")
+
+    def test_setups_matches_available(self):
+        assert [setup.key for setup in registry.setups()] == list(registry.available())
+
+    def test_partial_response_pair_rejected(self):
+        base = _dummy_setup("dummy_partial")
+        with pytest.raises(ProtocolRegistryError, match="together"):
+            ProtocolSetup(
+                key=base.key,
+                label=base.label,
+                graph_factory=base.graph_factory,
+                message_generator=base.message_generator,
+                response_graph_factory=base.graph_factory,  # generator missing
+            )
+
+    def test_directions(self):
+        # http/modbus/dns model both directions, mqtt only one.
+        assert [d for d, _, _ in registry.get("http").directions()] == ["request", "response"]
+        assert [d for d, _, _ in registry.get("dns").directions()] == ["request", "response"]
+        assert [d for d, _, _ in registry.get("mqtt").directions()] == ["request"]
+
+
+class TestRegisteredProtocolsAreRunnable:
+    def test_experiment_runner_accepts_registered_protocol(self):
+        setup = _dummy_setup("dummy_runnable")
+        registry.register(setup)
+        try:
+            runner = ExperimentRunner("dummy_runnable", seed=0, runs_per_level=1,
+                                      messages_per_run=2)
+            run = runner.run_once(passes=1, run_index=0)
+            assert run.protocol == "dummy_runnable"
+        finally:
+            registry.unregister("dummy_runnable")
+
+    def test_experiment_runner_rejects_unregistered_protocol(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner("dummy_gone")

@@ -1,0 +1,136 @@
+"""Tests of the DNS specification and core application."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.codegen import GeneratedCodec
+from repro.core import BoundaryKind, NodeType
+from repro.protocols import dns
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec
+
+
+class TestDnsSpec:
+    def test_graph_scale_between_http_and_modbus(self):
+        assert 12 <= dns.query_graph().stats().node_count <= 20
+        assert 20 <= dns.response_graph().stats().node_count <= 32
+
+    def test_contains_length_counter_delimited_repetition(self):
+        graph = dns.response_graph()
+        kinds = {node.boundary.kind for node in graph.nodes()}
+        types = {node.type for node in graph.nodes()}
+        assert BoundaryKind.LENGTH in kinds      # label/rdata length prefixes
+        assert BoundaryKind.COUNTER in kinds     # qdcount/ancount
+        assert BoundaryKind.DELIMITED in kinds   # zero-byte name terminator
+        assert NodeType.REPETITION in types      # label sequences
+        assert NodeType.TABULAR in types         # question/answer sections
+
+    def test_known_wire_layout_query(self):
+        codec = WireCodec(dns.query_graph(), seed=0)
+        message = dns.build_query([("www.example.com", 1, 1)], query_id=0x1234)
+        data = codec.serialize(message)
+        assert data == bytes.fromhex(
+            "1234"          # id
+            "0100"          # flags: standard query, RD
+            "0001"          # qdcount (derived)
+            "0000" "0000" "0000"  # ancount, nscount, arcount
+            "03777777076578616d706c6503636f6d00"  # 3www7example3com0
+            "0001" "0001"   # qtype A, qclass IN
+        )
+
+    def test_known_wire_layout_response_with_answer(self):
+        codec = WireCodec(dns.response_graph(), seed=0)
+        message = dns.build_response(
+            [("a.io", 1, 1)],
+            [("a.io", 1, 1, 300, bytes([10, 0, 0, 1]))],
+            response_id=7,
+        )
+        data = codec.serialize(message)
+        assert data == bytes.fromhex(
+            "0007" "8180" "0001" "0001" "0000" "0000"
+            "016102696f00" "0001" "0001"                    # question: 1a2io0 A IN
+            "016102696f00" "0001" "0001" "0000012c"         # answer name/type/class/ttl
+            "0004" "0a000001"                               # rdlength + rdata
+        )
+
+    def test_qdcount_and_ancount_are_derived(self, rng):
+        codec = WireCodec(dns.response_graph(), seed=0)
+        for _ in range(10):
+            message = dns.random_response(rng)
+            data = codec.serialize(message)
+            assert int.from_bytes(data[4:6], "big") == message.list_length("response_questions")
+            assert int.from_bytes(data[6:8], "big") == message.list_length("response_answers")
+
+    def test_label_longer_than_limit_rejected(self):
+        with pytest.raises(ValueError):
+            dns.build_query([("a" * 64 + ".com", 1, 1)])
+
+    def test_query_round_trip(self, rng):
+        codec = WireCodec(dns.query_graph(), seed=0)
+        for _ in range(25):
+            message = dns.random_query(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_response_round_trip(self, rng):
+        codec = WireCodec(dns.response_graph(), seed=0)
+        for _ in range(25):
+            message = dns.random_response(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_matching_response_echoes_id_and_questions(self, rng):
+        query = dns.random_query(rng, question_count=2)
+        response = dns.matching_response(query, rng)
+        assert response.get("response_id") == query.get("query_id")
+        assert response.list_length("response_questions") == 2
+        assert response.list_length("response_answers") == 2
+
+    def test_random_conversation_alternates(self, rng):
+        conversation = dns.random_conversation(rng, 2)
+        assert [direction for direction, _ in conversation] == [
+            "request", "response", "request", "response"
+        ]
+
+    def test_rdata_sizes_match_record_type(self, rng):
+        assert len(dns.random_rdata(rng, 1)) == 4     # A
+        assert len(dns.random_rdata(rng, 28)) == 16   # AAAA
+
+
+class TestDnsObfuscation:
+    @pytest.mark.parametrize("passes", [0, 1, 2, 3, 4])
+    def test_query_round_trip_under_obfuscation(self, passes, rng):
+        result = Obfuscator(seed=5).obfuscate(dns.query_graph(), passes)
+        codec = WireCodec(result.graph, seed=5)
+        for _ in range(8):
+            message = dns.random_query(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    @pytest.mark.parametrize("passes", [0, 1, 2, 3, 4])
+    def test_response_round_trip_under_obfuscation(self, passes, rng):
+        result = Obfuscator(seed=5).obfuscate(dns.response_graph(), passes)
+        codec = WireCodec(result.graph, seed=5)
+        for _ in range(8):
+            message = dns.random_response(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_interpreted_and_generated_codecs_interchangeable(self, rng):
+        """Acceptance check: seeded 2-pass run, 50 messages, byte-for-byte equal."""
+        result = Obfuscator(seed=1).obfuscate(dns.query_graph(), 2)
+        interpreted = WireCodec(result.graph, seed=42)
+        generated = GeneratedCodec(result.graph, seed=42)
+        for _ in range(50):
+            message = dns.random_query(rng)
+            wire = interpreted.serialize(message)
+            assert generated.serialize(message) == wire
+            assert generated.parse(wire) == message
+            assert interpreted.parse(wire) == message
+
+    def test_obfuscated_wire_differs_from_plain(self, rng):
+        message = dns.random_query(rng)
+        plain = WireCodec(dns.query_graph(), seed=0).serialize(message)
+        obfuscated = WireCodec(
+            Obfuscator(seed=0).obfuscate(dns.query_graph(), 2).graph, seed=0
+        ).serialize(message)
+        assert plain != obfuscated

@@ -1,0 +1,112 @@
+"""Tests of the MQTT specification and core application."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.codegen import GeneratedCodec
+from repro.core import BoundaryKind, NodeType
+from repro.protocols import mqtt
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec
+
+
+class TestMqttSpec:
+    def test_graph_scale_between_http_and_modbus(self):
+        assert 20 <= mqtt.packet_graph().stats().node_count <= 32
+
+    def test_contains_optional_length_and_end(self):
+        graph = mqtt.packet_graph()
+        kinds = {node.boundary.kind for node in graph.nodes()}
+        types = {node.type for node in graph.nodes()}
+        assert BoundaryKind.LENGTH in kinds  # remaining length, string prefixes
+        assert BoundaryKind.END in kinds     # QoS-0 payload
+        assert NodeType.OPTIONAL in types    # per-packet-family blocks
+
+    def test_known_wire_layout_connect(self):
+        codec = WireCodec(mqtt.packet_graph(), seed=0)
+        message = mqtt.build_connect("probe-7", keepalive=60)
+        # MQTT 3.1.1 CONNECT with the modelled two-byte remaining length.
+        assert codec.serialize(message) == bytes.fromhex(
+            "10" "0013" "00044d515454" "04" "02" "003c" "000770726f62652d37"
+        )
+
+    def test_known_wire_layout_publish_qos0(self):
+        codec = WireCodec(mqtt.packet_graph(), seed=0)
+        message = mqtt.build_publish("a/b", b"hi", qos=0)
+        assert codec.serialize(message) == bytes([0x30, 0x00, 0x07]) + b"\x00\x03a/bhi"
+
+    def test_known_wire_layout_publish_qos1(self):
+        codec = WireCodec(mqtt.packet_graph(), seed=0)
+        message = mqtt.build_publish("t", b"xyz", qos=1, packet_id=7)
+        assert codec.serialize(message) == bytes.fromhex(
+            "32" "000a" "000174" "0007" "0003" "78797a"
+        )
+
+    def test_known_wire_layout_pingreq(self):
+        codec = WireCodec(mqtt.packet_graph(), seed=0)
+        assert codec.serialize(mqtt.build_pingreq()) == bytes([0xC0, 0x00, 0x00])
+
+    def test_remaining_length_is_consistent(self, rng):
+        codec = WireCodec(mqtt.packet_graph(), seed=0)
+        for _ in range(20):
+            data = codec.serialize(mqtt.random_packet(rng))
+            assert int.from_bytes(data[1:3], "big") == len(data) - 3
+
+    @pytest.mark.parametrize("packet_type", mqtt.PACKET_TYPES)
+    def test_round_trip_per_packet_family(self, packet_type, rng):
+        codec = WireCodec(mqtt.packet_graph(), seed=0)
+        for _ in range(10):
+            message = mqtt.random_packet(rng, packet_type=packet_type)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_qos0_publish_rejects_packet_id(self):
+        with pytest.raises(ValueError):
+            mqtt.build_publish("t", b"x", qos=0, packet_id=3)
+
+    def test_unsupported_qos_rejected(self):
+        with pytest.raises(ValueError):
+            mqtt.build_publish("t", b"x", qos=2)
+
+    def test_unsupported_packet_type_rejected(self, rng):
+        with pytest.raises(ValueError):
+            mqtt.random_packet(rng, packet_type=0x20)  # CONNACK not modelled
+
+    def test_random_session_shape(self, rng):
+        session = mqtt.random_session(rng, publishes=3)
+        assert len(session) == 4
+        assert session[0].get("packet_type") == mqtt.CONNECT
+        for packet in session[1:]:
+            assert packet.get("packet_type") in (mqtt.PUBLISH_QOS0, mqtt.PUBLISH_QOS1)
+
+
+class TestMqttObfuscation:
+    @pytest.mark.parametrize("passes", [0, 1, 2, 3, 4])
+    def test_round_trip_under_obfuscation(self, passes, rng):
+        result = Obfuscator(seed=5).obfuscate(mqtt.packet_graph(), passes)
+        codec = WireCodec(result.graph, seed=5)
+        for _ in range(8):
+            message = mqtt.random_packet(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_interpreted_and_generated_codecs_interchangeable(self, rng):
+        """Acceptance check: seeded 2-pass run, 50 messages, byte-for-byte equal."""
+        result = Obfuscator(seed=1).obfuscate(mqtt.packet_graph(), 2)
+        interpreted = WireCodec(result.graph, seed=42)
+        generated = GeneratedCodec(result.graph, seed=42)
+        for _ in range(50):
+            message = mqtt.random_packet(rng)
+            wire = interpreted.serialize(message)
+            assert generated.serialize(message) == wire
+            assert generated.parse(wire) == message
+            assert interpreted.parse(wire) == message
+
+    def test_obfuscated_wire_differs_from_plain(self, rng):
+        message = mqtt.random_packet(rng, packet_type=mqtt.CONNECT)
+        plain = WireCodec(mqtt.packet_graph(), seed=0).serialize(message)
+        obfuscated = WireCodec(
+            Obfuscator(seed=0).obfuscate(mqtt.packet_graph(), 2).graph, seed=0
+        ).serialize(message)
+        assert plain != obfuscated
