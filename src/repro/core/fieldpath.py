@@ -60,7 +60,7 @@ _BRACKET_RE = re.compile(r"\[(\d+|\*)\]")
 class FieldPath:
     """An immutable, hashable sequence of logical field path steps."""
 
-    __slots__ = ("_steps",)
+    __slots__ = ("_steps", "_has_index")
 
     def __init__(self, steps: Iterable[Step] = ()):
         checked: list[Step] = []
@@ -70,8 +70,21 @@ class FieldPath:
             else:
                 raise MessageError(f"invalid field path step: {step!r}")
         self._steps = tuple(checked)
+        self._has_index = any(step is INDEX for step in checked)
 
     # -- construction -------------------------------------------------------
+
+    @classmethod
+    def _trusted(cls, steps: tuple[Step, ...], has_index: bool) -> "FieldPath":
+        """Internal constructor for steps that are already validated.
+
+        Path binding runs once per terminal per message on the wire hot path;
+        skipping re-validation there is a measurable win.
+        """
+        path = object.__new__(cls)
+        path._steps = steps
+        path._has_index = has_index
+        return path
 
     @classmethod
     def parse(cls, text: str) -> "FieldPath":
@@ -119,7 +132,10 @@ class FieldPath:
         Markers are replaced left to right with the values of ``indices``;
         the number of markers must not exceed ``len(indices)``.  Extra
         indices (from deeper nesting than this path uses) are ignored.
+        Concrete paths are returned unchanged (paths are immutable).
         """
+        if not self._has_index:
+            return self
         resolved: list[Step] = []
         cursor = 0
         for step in self._steps:
@@ -132,7 +148,7 @@ class FieldPath:
                 cursor += 1
             else:
                 resolved.append(step)
-        return FieldPath(resolved)
+        return FieldPath._trusted(tuple(resolved), False)
 
     def startswith(self, prefix: "FieldPath") -> bool:
         """True when ``prefix`` is a (non-strict) prefix of this path."""
@@ -147,7 +163,7 @@ class FieldPath:
     @property
     def is_concrete(self) -> bool:
         """True when the path contains no unbound :data:`INDEX` marker."""
-        return all(step is not INDEX for step in self._steps)
+        return not self._has_index
 
     def index_arity(self) -> int:
         """Number of unbound :data:`INDEX` markers in the path."""

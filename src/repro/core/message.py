@@ -40,13 +40,22 @@ class Message:
         """Deep copy of the message."""
         return Message(_copy.deepcopy(self._data))
 
+    @property
+    def raw(self) -> dict[str, Any]:
+        """The live underlying nested dictionary (no copy).
+
+        Mutations are visible through the message; the wire runtime's compiled
+        accessors navigate this structure directly.
+        """
+        return self._data
+
     # -- field access ---------------------------------------------------------
 
     def get(self, path: FieldPath | str, default: Any = None) -> Any:
         """Value stored at ``path`` or ``default`` when absent."""
         resolved = self._concrete(path)
         container: Any = self._data
-        for step in resolved:
+        for step in resolved.steps:
             if isinstance(step, str):
                 if not isinstance(container, dict) or step not in container:
                     return default
@@ -69,24 +78,30 @@ class Message:
             raise MessageError("cannot assign the message root; use from_dict instead")
         container: Any = self._data
         steps = resolved.steps
-        for position, step in enumerate(steps):
-            final = position == len(steps) - 1
+        last = len(steps) - 1
+        for position in range(last):
+            step = steps[position]
             if isinstance(step, str):
                 if not isinstance(container, dict):
                     raise MessageError(f"expected a dict at {steps[:position]!r}")
-                if final:
-                    container[step] = value
-                    return
                 container = self._descend_dict(container, step, steps[position + 1])
             else:
                 if not isinstance(container, list):
                     raise MessageError(f"expected a list at {steps[:position]!r}")
                 while len(container) <= step:
                     container.append(None)
-                if final:
-                    container[step] = value
-                    return
                 container = self._descend_list(container, step, steps[position + 1])
+        step = steps[last]
+        if isinstance(step, str):
+            if not isinstance(container, dict):
+                raise MessageError(f"expected a dict at {steps[:last]!r}")
+            container[step] = value
+        else:
+            if not isinstance(container, list):
+                raise MessageError(f"expected a list at {steps[:last]!r}")
+            while len(container) <= step:
+                container.append(None)
+            container[step] = value
 
     def delete(self, path: FieldPath | str) -> None:
         """Remove the value at ``path`` (no-op when absent)."""

@@ -17,7 +17,12 @@ rows of Tables III/IV and the series of Figures 4–7.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from random import Random
 from typing import Sequence
@@ -46,6 +51,22 @@ class RunResult:
     serialize_ms: float
     parse_ms: float
     buffer_size: float
+
+    def deterministic_signature(self) -> tuple:
+        """Every field that depends only on the run seed, not on wall-clock.
+
+        Sequential and parallel executions of the same (seed, passes, run
+        index) produce bit-identical signatures; the ``*_ms`` timings are
+        environment noise and are excluded.
+        """
+        return (
+            self.protocol,
+            self.passes,
+            self.applied,
+            self.potency,
+            self.normalized,
+            self.buffer_size,
+        )
 
 
 @dataclass(frozen=True)
@@ -94,15 +115,48 @@ TABLE_HEADERS = [
 ]
 
 
+def _run_once_task(protocol: str, seed: int, messages_per_run: int,
+                   transformations: list[Transformation] | None,
+                   reference: PotencyMetrics | None,
+                   passes: int, run_index: int) -> "RunResult":
+    """One experiment run executed inside a worker process.
+
+    Reconstructs a runner from the deterministic configuration; the run seed
+    derivation inside :meth:`ExperimentRunner.run_once` is untouched, so the
+    draw is bit-identical to the sequential execution of the same indices.
+    ``reference`` carries the parent's reference potency so that workers do
+    not regenerate the non-obfuscated library once per run.
+    """
+    runner = ExperimentRunner(
+        protocol,
+        seed=seed,
+        messages_per_run=messages_per_run,
+        transformations=transformations,
+    )
+    runner._reference = reference
+    return runner.run_once(passes, run_index)
+
+
 @dataclass
 class ExperimentRunner:
-    """Runs the paper's experiment protocol for one protocol specification."""
+    """Runs the paper's experiment protocol for one protocol specification.
+
+    With ``parallel=True`` the independent runs of one obfuscation level are
+    distributed over a process pool.  Every run derives its randomness from
+    ``run_seed = seed*10_000 + passes*100 + run_index`` alone, so the parallel
+    execution produces bit-identical :class:`RunResult` draws (potency,
+    applied transformations, buffer sizes) to the sequential one — only the
+    wall-clock ``*_ms`` fields differ, as they would between any two
+    sequential executions.
+    """
 
     protocol: str
     seed: int = 0
     runs_per_level: int = 5
     messages_per_run: int = 20
     transformations: list[Transformation] | None = None
+    parallel: bool = False
+    max_workers: int | None = None
     _reference: PotencyMetrics | None = field(default=None, init=False, repr=False)
     _reference_buffer: float | None = field(default=None, init=False, repr=False)
 
@@ -114,7 +168,7 @@ class ExperimentRunner:
     def reference_potency(self) -> PotencyMetrics:
         """Potency metrics of the non-obfuscated generated library."""
         if self._reference is None:
-            source = generate_module(self.setup.graph_factory())
+            source = generate_module(self.setup.reference_graph())
             self._reference = measure_source(source)
         return self._reference
 
@@ -123,7 +177,9 @@ class ExperimentRunner:
     def run_once(self, passes: int, run_index: int) -> RunResult:
         """One experiment run: obfuscate, generate, measure potency and cost."""
         run_seed = self.seed * 10_000 + passes * 100 + run_index
-        graph = self.setup.graph_factory()
+        # The obfuscator clones before transforming, so the shared reference
+        # graph (and its cached plan) is never mutated by a run.
+        graph = self.setup.reference_graph()
         start = time.perf_counter()
         obfuscator = Obfuscator(self.transformations, seed=run_seed)
         result = obfuscator.obfuscate(graph, passes)
@@ -150,8 +206,55 @@ class ExperimentRunner:
         )
 
     def run_level(self, passes: int) -> list[RunResult]:
-        """Every run of one obfuscation level."""
+        """Every run of one obfuscation level (parallel when configured)."""
+        if self.parallel and self.runs_per_level > 1:
+            results = self._run_level_parallel(passes)
+            if results is not None:
+                return results
         return [self.run_once(passes, index) for index in range(self.runs_per_level)]
+
+    def _run_level_parallel(self, passes: int) -> list[RunResult] | None:
+        """Fan the runs of one level out over a process pool.
+
+        Returns ``None`` when no pool can be started (restricted platforms),
+        in which case the caller falls back to sequential execution.  Results
+        are collected in run-index order, matching the sequential path.
+        """
+        workers = self.max_workers
+        if workers is None:
+            workers = min(self.runs_per_level, os.cpu_count() or 1)
+        # fork keeps sys.path and the protocol registry of the parent; spawn
+        # re-imports from the environment, which works as long as the package
+        # is importable (PYTHONPATH or installed).
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        reference = self.reference_potency()
+        task = (self.protocol, self.seed, self.messages_per_run,
+                self.transformations, reference)
+        try:
+            # Pre-flight: unpicklable configurations (custom transformation
+            # objects holding lambdas, open handles, ...) fail here instead of
+            # poisoning the pool's feeder thread mid-run.
+            pickle.dumps(task)
+        except Exception:
+            return None
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        except (OSError, ValueError):
+            # No pool on this platform (sandboxes, exotic systems): fall back.
+            return None
+        try:
+            with pool:
+                futures = [
+                    pool.submit(_run_once_task, *task, passes, index)
+                    for index in range(self.runs_per_level)
+                ]
+                return [future.result() for future in futures]
+        except BrokenProcessPool:
+            # Workers died (OOM killer, container limits): fall back.  Genuine
+            # experiment errors raised inside a worker propagate unchanged.
+            return None
 
     # -- tables (paper Tables III and IV) --------------------------------------
 

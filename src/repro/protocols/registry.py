@@ -16,12 +16,13 @@ therefore a drop-in module under :mod:`repro.protocols`; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, Iterator
 
 from ..core.graph import FormatGraph
 from ..core.message import Message
+from ..wire.plan import CodecPlan, plan_for
 
 GraphFactory = Callable[[], FormatGraph]
 MessageGenerator = Callable[[Random], Message]
@@ -49,6 +50,12 @@ class ProtocolSetup:
     response_graph_factory: GraphFactory | None = None
     response_generator: MessageGenerator | None = None
     description: str = ""
+    #: canonical graph instances per direction, hosts of the cached codec
+    #: plans (``graph_factory`` builds a fresh graph per call; consumers that
+    #: only read — benchmarks, codecs, reference measurements — share these).
+    _reference_graphs: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if (self.response_graph_factory is None) != (self.response_generator is None):
@@ -62,6 +69,37 @@ class ProtocolSetup:
         yield "request", self.graph_factory, self.message_generator
         if self.response_graph_factory is not None and self.response_generator is not None:
             yield "response", self.response_graph_factory, self.response_generator
+
+    # -- compiled-plan aware accessors -----------------------------------------
+
+    def _direction_factory(self, direction: str) -> GraphFactory:
+        if direction == "request":
+            return self.graph_factory
+        if direction == "response":
+            if self.response_graph_factory is None:
+                raise ProtocolRegistryError(
+                    f"protocol {self.key!r} does not model a response direction"
+                )
+            return self.response_graph_factory
+        raise ProtocolRegistryError(
+            f"unknown direction {direction!r}; expected 'request' or 'response'"
+        )
+
+    def reference_graph(self, direction: str = "request") -> FormatGraph:
+        """Shared canonical graph of one direction (built once per setup).
+
+        Safe to share because every consumer treats specification graphs as
+        immutable: the obfuscation engine clones before transforming.
+        """
+        graph = self._reference_graphs.get(direction)
+        if graph is None:
+            graph = self._direction_factory(direction)()
+            self._reference_graphs[direction] = graph
+        return graph
+
+    def reference_plan(self, direction: str = "request") -> CodecPlan:
+        """Cached codec plan of the canonical graph of one direction."""
+        return plan_for(self.reference_graph(direction))
 
 
 _REGISTRY: dict[str, ProtocolSetup] = {}

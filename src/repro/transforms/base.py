@@ -17,6 +17,7 @@ Every transformation implements two methods:
 from __future__ import annotations
 
 import enum
+import functools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from random import Random
@@ -25,6 +26,7 @@ from typing import Any, ClassVar
 from ..core.boundary import BoundaryKind
 from ..core.graph import FormatGraph
 from ..core.node import Node
+from ..wire.plan import invalidate as _invalidate_plan
 
 
 class TransformationCategory(str, enum.Enum):
@@ -70,7 +72,30 @@ class Transformation(ABC):
         Raises :class:`~repro.core.errors.NotApplicableError` when the random
         parameters drawn cannot satisfy the constraints (callers treat this as
         a skipped application).
+
+        Every concrete ``apply`` is automatically wrapped (see
+        ``__init_subclass__``) to drop the graph's cached codec plan after the
+        rewrite: the plan cache is keyed by graph identity, so an in-place
+        mutation would otherwise leave codecs executing against the
+        pre-transformation plan.
         """
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        original = cls.__dict__.get("apply")
+        if original is None or getattr(original, "_invalidates_plan", False):
+            return
+
+        @functools.wraps(original)
+        def apply_and_invalidate(self, graph: FormatGraph, node: Node,
+                                 rng: Random) -> TransformationRecord:
+            try:
+                return original(self, graph, node, rng)
+            finally:
+                _invalidate_plan(graph)
+
+        apply_and_invalidate._invalidates_plan = True  # type: ignore[attr-defined]
+        cls.apply = apply_and_invalidate  # type: ignore[assignment]
 
     def record(self, target: Node, *, created: tuple[str, ...] = (),
                **parameters: Any) -> TransformationRecord:

@@ -135,6 +135,8 @@ class Obfuscator:
             return None
         transformation = self._rng.choice(applicable)
         try:
+            # Transformation.apply drops the graph's cached codec plan after
+            # rewriting it in place (see Transformation.__init_subclass__).
             record = transformation.apply(graph, node, self._rng)
         except NotApplicableError:
             return None

@@ -3,21 +3,27 @@
 from .codec import WireCodec
 from .parser import Parser, parse
 from .pieces import Chunk, LengthSlot, PieceList
+from .plan import CodecPlan, TerminalPlan, compile_plan, invalidate, plan_for
 from .serializer import Serializer, serialize, serialize_with_spans
 from .spans import FieldSpan, boundaries
 from .window import Window
 
 __all__ = [
     "Chunk",
+    "CodecPlan",
     "FieldSpan",
     "LengthSlot",
     "Parser",
     "PieceList",
     "Serializer",
+    "TerminalPlan",
     "Window",
     "WireCodec",
     "boundaries",
+    "compile_plan",
+    "invalidate",
     "parse",
+    "plan_for",
     "serialize",
     "serialize_with_spans",
 ]

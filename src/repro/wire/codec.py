@@ -14,6 +14,7 @@ from random import Random
 from ..core.graph import FormatGraph
 from ..core.message import Message
 from .parser import Parser
+from .plan import CodecPlan, plan_for
 from .serializer import Serializer
 from .spans import FieldSpan
 
@@ -22,12 +23,14 @@ class WireCodec:
     """Serializer/parser pair for one (possibly obfuscated) format graph."""
 
     def __init__(self, graph: FormatGraph, *, seed: int | None = None,
-                 rng: Random | None = None):
+                 rng: Random | None = None, plan: CodecPlan | None = None):
         if rng is None:
             rng = Random(seed if seed is not None else 0)
         self.graph = graph
-        self._serializer = Serializer(graph, rng=rng)
-        self._parser = Parser(graph)
+        #: one compiled plan shared by both directions (cached per graph).
+        self.plan = plan if plan is not None else plan_for(graph)
+        self._serializer = Serializer(graph, rng=rng, plan=self.plan)
+        self._parser = Parser(graph, plan=self.plan)
 
     def serialize(self, message: Message | dict) -> bytes:
         """Serialize a logical message into its wire representation."""

@@ -16,31 +16,30 @@ from __future__ import annotations
 
 from ..core.boundary import BoundaryKind
 from ..core.errors import ParseError
-from ..core.fieldpath import FieldPath
-from ..core.graph import FormatGraph, static_size
+from ..core.graph import FormatGraph
 from ..core.message import Message
 from ..core.node import Node, NodeType
-from ..core.values import Value, decode_value, invert_chain
+from ..core.values import Value
+from .plan import CodecPlan, plan_for
 from .window import Window
 
 
 class _ParseContext:
     """Mutable state shared by one parsing run."""
 
-    __slots__ = ("message", "raw_values", "index_stack")
+    __slots__ = ("message", "data", "raw_values", "index_stack")
 
     def __init__(self) -> None:
-        self.message = Message()
+        #: the logical message under construction; ``data`` is its live
+        #: underlying dictionary, navigated by the plan's compiled accessors.
+        self.data: dict = {}
+        self.message = Message(self.data)
         #: decoded value of every terminal, keyed by node name; used to resolve
         #: LENGTH/COUNTER boundaries and Optional presence conditions.  Within a
         #: repetition element the latest value is always the one belonging to the
         #: current element because references never cross element boundaries.
         self.raw_values: dict[str, Value] = {}
         self.index_stack: list[int] = []
-
-    def resolve(self, path: FieldPath) -> FieldPath:
-        """Bind the unbound repetition indices of ``path`` to the current stack."""
-        return path.resolve(self.index_stack)
 
     def ref_value(self, ref: str, *, node: str) -> int:
         """Integer value of a previously parsed length/counter terminal."""
@@ -57,14 +56,12 @@ class _ParseContext:
 class Parser:
     """Parses (obfuscated) wire messages back into logical messages."""
 
-    def __init__(self, graph: FormatGraph):
+    def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None):
         self.graph = graph
-        self._ref_targets = {
-            node.boundary.ref
-            for node in graph.nodes()
-            if node.boundary.kind in (BoundaryKind.LENGTH, BoundaryKind.COUNTER)
-            and node.boundary.ref is not None
-        }
+        #: compiled execution plan; resolved through the shared plan cache so
+        #: that repeated construction over the same graph does not re-walk it.
+        self.plan = plan if plan is not None else plan_for(graph)
+        self._ref_targets = self.plan.ref_targets
 
     # -- public API -----------------------------------------------------------
 
@@ -129,9 +126,7 @@ class Parser:
         raw = self._terminal_bytes(node, win, ctx, prebounded)
         if node.is_pad:
             return None
-        assert node.value_kind is not None
-        decoded = decode_value(raw, node.value_kind, endian=node.endian)
-        return invert_chain(decoded, node.value_kind, node.codec_chain)
+        return self.plan.terminals[node.name].decode(raw)
 
     def _terminal_bytes(self, node: Node, win: Window, ctx: _ParseContext,
                         prebounded: bool) -> bytes:
@@ -155,7 +150,7 @@ class Parser:
             return
         ctx.raw_values[node.name] = value
         if node.origin is not None:
-            ctx.message.set(ctx.resolve(node.origin), value)
+            self.plan.origin_set[node.name](ctx.data, ctx.index_stack, value)
 
     # -- region extraction for mirrored nodes ----------------------------------
 
@@ -167,7 +162,7 @@ class Parser:
             return win.read(ctx.ref_value(node.boundary.ref, node=node.name))  # type: ignore[arg-type]
         if kind is BoundaryKind.END:
             return win.read_rest()
-        size = static_size(node)
+        size = self.plan.static_sizes.get(node.name)
         if size is None:
             raise ParseError(
                 "mirrored node has no parse-time determinable extent", node=node.name
@@ -181,7 +176,12 @@ class Parser:
             self._parse_synthesis(node, win, ctx)
             return
         for child in node.children:
-            self._parse_node(child, win, ctx)
+            # Plain terminals skip the _parse_node dispatch: one call less on
+            # the most common child shape.
+            if child.type is NodeType.TERMINAL and not child.mirrored:
+                self._store_terminal(child, self._parse_terminal(child, win, ctx), ctx)
+            else:
+                self._parse_node(child, win, ctx)
 
     def _parse_synthesis(self, node: Node, win: Window, ctx: _ParseContext) -> None:
         shares: list[Value] = []
@@ -200,7 +200,7 @@ class Parser:
         combined = node.synthesis.combine(shares[0], shares[1])  # type: ignore[union-attr]
         if node.origin is None:
             raise ParseError(f"synthesis node {node.name!r} has no logical origin")
-        ctx.message.set(ctx.resolve(node.origin), combined)
+        self.plan.origin_set[node.name](ctx.data, ctx.index_stack, combined)
 
     def _parse_split_child(self, child: Node, win: Window, ctx: _ParseContext) -> Value:
         if child.mirrored:
@@ -232,9 +232,7 @@ class Parser:
                           *, prebounded: bool = False) -> None:
         if node.origin is None:
             raise ParseError(f"repeated node {node.name!r} has no logical origin")
-        list_path = ctx.resolve(node.origin)
-        if not ctx.message.has(list_path):
-            ctx.message.set(list_path, [])
+        self.plan.list_init[node.name](ctx.data, ctx.index_stack)
         child = node.children[0]
         kind = node.boundary.kind
 
@@ -270,5 +268,10 @@ class Parser:
 
 
 def parse(graph: FormatGraph, data: bytes, *, strict: bool = True) -> Message:
-    """Module-level convenience wrapper around :class:`Parser`."""
-    return Parser(graph).parse(data, strict=strict)
+    """Module-level convenience wrapper around :class:`Parser`.
+
+    Routed through the shared plan cache: the graph is compiled once and every
+    subsequent call executes against the cached :class:`CodecPlan` instead of
+    re-scanning ``graph.nodes()``.
+    """
+    return Parser(graph, plan=plan_for(graph)).parse(data, strict=strict)

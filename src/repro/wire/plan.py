@@ -1,0 +1,757 @@
+"""Compiled codec plans.
+
+The interpreted wire runtime used to re-derive graph-wide metadata on every
+message: the parser collected the LENGTH/COUNTER reference targets in its
+constructor, the serializer rebuilt the length/counter source maps per
+``serialize()`` call, and the module-level convenience wrappers constructed a
+fresh :class:`~repro.wire.parser.Parser` / :class:`~repro.wire.serializer.Serializer`
+per invocation.  A :class:`CodecPlan` compiles a :class:`~repro.core.graph.FormatGraph`
+once into a flat execution plan so that every subsequent parse/serialize runs
+against precomputed state — the same compile-once/execute-many discipline the
+source paper applies to its generated C++ parsers:
+
+* the set of LENGTH/COUNTER reference targets,
+* the length/counter source maps keyed by the derived field's name,
+* the resolved static size of every node,
+* one composed codec callable per terminal (codec chain + value encoding
+  fused, with byte-translation tables for byte-wise chains),
+* pre-encoded delimiters and fixed-width length-slot templates.
+
+Plans are cached per graph *identity* (:func:`plan_for`) and invalidated when
+a transformation rewrites the graph in place (the obfuscation engine calls
+:func:`invalidate` after every applied transformation).  A plan never holds a
+reference to the graph or its nodes — only names, primitives and closures over
+immutable node attributes — so the cache cannot leak graphs and a plan can
+never observe a node mutated after compilation.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.boundary import BoundaryKind
+from ..core.errors import MessageError, SerializationError
+from ..core.fieldpath import INDEX, FieldPath
+from ..core.graph import FormatGraph
+from ..core.node import Node, NodeType
+from ..core.values import (
+    Value,
+    ValueKind,
+    ValueOp,
+    ValueOpKind,
+    apply_chain,
+    encode_value,
+    invert_chain,
+)
+from .pieces import LengthSlot
+
+
+# ---------------------------------------------------------------------------
+# codec chain composition
+# ---------------------------------------------------------------------------
+
+
+def _byte_tables(chain: tuple[ValueOp, ...]) -> tuple[bytes, bytes]:
+    """Fused 256-entry translation tables of a purely byte-wise chain.
+
+    Byte-wise operations map each byte independently, so an arbitrarily long
+    chain collapses into a single ``bytes.translate`` table per direction.
+    """
+    forward = list(range(256))
+    for op in chain:
+        forward = [op._byte_op(byte, False) for byte in forward]
+    inverse = list(range(256))
+    for op in reversed(chain):
+        inverse = [op._byte_op(byte, True) for byte in inverse]
+    return bytes(forward), bytes(inverse)
+
+
+def _int_chain_fn(chain: tuple[ValueOp, ...], *, inverse: bool
+                  ) -> Callable[[Value], Value] | None:
+    """Fuse a pure-integer chain into one closure over (add, xor) steps.
+
+    Every integer operation is either an addition modulo a power of two or a
+    xor; subtractions (and inverted additions) normalize to additions of the
+    complement, so one ``(v + c) & mask`` / ``v ^ c`` step per op remains.
+    Returns ``None`` when the chain contains byte-wise or width-less ops.
+    """
+    steps: list[tuple[bool, int, int]] = []  # (is_add, constant, mask)
+    ordered = reversed(chain) if inverse else chain
+    for op in ordered:
+        if op.bytewise or op.width is None:
+            return None
+        modulus = 1 << (8 * op.width)
+        mask = modulus - 1
+        constant = op.constant % modulus
+        if op.kind is ValueOpKind.XOR:
+            steps.append((False, constant, mask))
+        elif (op.kind is ValueOpKind.ADD) != inverse:
+            steps.append((True, constant, mask))
+        else:  # subtraction: add the modular complement
+            steps.append((True, (modulus - constant) & mask, mask))
+    if len(steps) == 1:
+        is_add, constant, mask = steps[0]
+        if is_add:
+            return lambda value: (int(value) + constant) & mask
+        return lambda value: int(value) ^ constant
+    fused = tuple(steps)
+
+    def run(value: Value) -> Value:
+        integer = int(value)  # type: ignore[arg-type]
+        for is_add, constant, mask in fused:
+            integer = (integer + constant) & mask if is_add else integer ^ constant
+        return integer
+
+    return run
+
+
+def _compile_chain(kind: ValueKind, chain: tuple[ValueOp, ...]
+                   ) -> tuple[Callable[[Value], Value], Callable[[Value], Value]] | None:
+    """Compose a codec chain into one ``(apply, invert)`` callable pair.
+
+    Returns ``None`` for the identity chain.  Chains that mix byte-wise and
+    integer operations (never produced by the transformations, but permitted
+    by the data model) fall back to the generic per-op interpreters.
+    """
+    if not chain:
+        return None
+    if kind is ValueKind.UINT:
+        apply_fn = _int_chain_fn(chain, inverse=False)
+        invert_fn = _int_chain_fn(chain, inverse=True)
+        if apply_fn is not None and invert_fn is not None:
+            return apply_fn, invert_fn
+    if all(op.bytewise for op in chain) and kind in (ValueKind.BYTES, ValueKind.TEXT):
+        forward_table, inverse_table = _byte_tables(chain)
+        if kind is ValueKind.BYTES:
+            def apply_fused(value: Value) -> Value:
+                data = value if isinstance(value, bytes) else encode_value(value, kind)
+                return data.translate(forward_table)
+
+            def invert_fused(value: Value) -> Value:
+                data = value if isinstance(value, bytes) else encode_value(value, kind)
+                return data.translate(inverse_table)
+        else:
+            def apply_fused(value: Value) -> Value:
+                data = encode_value(value, kind)
+                return data.translate(forward_table).decode("latin-1")
+
+            def invert_fused(value: Value) -> Value:
+                data = encode_value(value, kind)
+                return data.translate(inverse_table).decode("latin-1")
+        return apply_fused, invert_fused
+
+    def apply_generic(value: Value) -> Value:
+        return apply_chain(value, kind, chain)
+
+    def invert_generic(value: Value) -> Value:
+        return invert_chain(value, kind, chain)
+
+    return apply_generic, invert_generic
+
+
+# ---------------------------------------------------------------------------
+# per-terminal plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TerminalPlan:
+    """Precompiled encode/decode path of one value-carrying terminal.
+
+    ``decode`` maps raw wire bytes to the logical value (value decoding fused
+    with the inverted codec chain); ``encode`` maps a logical value to wire
+    bytes (codec chain fused with value encoding, fixed-size and delimiter
+    checks included).  ``delimiter`` is the pre-encoded terminator appended
+    after the value (``b""`` when the terminal is not delimited).
+    """
+
+    name: str
+    decode: Callable[[bytes], Value]
+    encode: Callable[[object], bytes]
+    delimiter: bytes
+
+
+def _compile_decode(node: Node) -> Callable[[bytes], Value]:
+    kind = node.value_kind
+    assert kind is not None
+    compiled = _compile_chain(kind, node.codec_chain)
+    if kind is ValueKind.UINT:
+        byteorder = node.endian.value
+        if compiled is None:
+            return lambda raw: int.from_bytes(raw, byteorder)
+        _, invert = compiled
+        return lambda raw: invert(int.from_bytes(raw, byteorder))
+    if kind is ValueKind.BYTES:
+        if compiled is None:
+            return bytes
+        _, invert = compiled
+        return lambda raw: invert(bytes(raw))
+    # TEXT
+    if compiled is None:
+        return lambda raw: raw.decode("latin-1")
+    _, invert = compiled
+    return lambda raw: invert(raw.decode("latin-1"))
+
+
+def _compile_encode(node: Node) -> Callable[[object], bytes]:
+    kind = node.value_kind
+    assert kind is not None
+    name = node.name
+    endian = node.endian
+    size = node.boundary.size if node.boundary.kind is BoundaryKind.FIXED else None
+    delimiter = (
+        node.boundary.delimiter or b""
+        if node.boundary.kind is BoundaryKind.DELIMITED
+        else b""
+    )
+    compiled = _compile_chain(kind, node.codec_chain)
+    apply_ops = compiled[0] if compiled is not None else None
+
+    if apply_ops is None and kind is ValueKind.UINT and size is not None and size > 0:
+        # Fixed-width unsigned integer without a codec chain: by far the most
+        # common terminal shape — encode with one bound int.to_bytes call.
+        modulus = 1 << (8 * size)
+        byteorder = endian.value
+
+        def encode_uint_fast(value: object) -> bytes:
+            integer = int(value)  # type: ignore[arg-type]
+            if not 0 <= integer < modulus:
+                raise SerializationError(
+                    f"terminal {name!r}: value {integer} does not fit in {size} byte(s)"
+                )
+            return integer.to_bytes(size, byteorder)
+
+        return encode_uint_fast
+
+    if apply_ops is None and kind in (ValueKind.BYTES, ValueKind.TEXT):
+        label = "bytes" if kind is ValueKind.BYTES else "text"
+
+        def encode_data_fast(value: object) -> bytes:
+            if isinstance(value, str):
+                data = value.encode("latin-1")
+            elif isinstance(value, (bytes, bytearray)):
+                data = bytes(value)
+            else:
+                raise SerializationError(
+                    f"terminal {name!r}: cannot encode {type(value).__name__} as {label}"
+                )
+            if size is not None and len(data) != size:
+                raise SerializationError(
+                    f"terminal {name!r}: fixed-size field expects {size} byte(s), "
+                    f"value has {len(data)}"
+                )
+            if delimiter and delimiter in data:
+                raise SerializationError(
+                    f"value of delimited terminal {name!r} contains its "
+                    f"delimiter {delimiter!r}"
+                )
+            return data
+
+        return encode_data_fast
+
+    def encode(value: object) -> bytes:
+        if apply_ops is not None:
+            value = apply_ops(value)  # type: ignore[arg-type]
+        try:
+            encoded = encode_value(value, kind, size=size, endian=endian)  # type: ignore[arg-type]
+        except SerializationError as exc:
+            raise SerializationError(f"terminal {name!r}: {exc}") from exc
+        if delimiter and delimiter in encoded:
+            raise SerializationError(
+                f"value of delimited terminal {name!r} contains its "
+                f"delimiter {delimiter!r}"
+            )
+        return encoded
+
+    return encode
+
+
+# ---------------------------------------------------------------------------
+# compiled origin accessors
+# ---------------------------------------------------------------------------
+#
+# The parser stores every decoded value at its node's origin path and the
+# serializer reads every terminal value from it — once per terminal per
+# message.  Navigating through FieldPath.resolve + Message.get/set costs a
+# path allocation and a generically dispatched walk per access; the closures
+# below bind the path's steps at compile time and read the repetition indices
+# straight off the live index stack (leftmost INDEX marker ↔ outermost
+# repetition, exactly like FieldPath.resolve).
+
+
+def _bind_steps(steps: tuple, indices: list[int], path: FieldPath) -> list:
+    """Replace the INDEX markers of ``steps`` with the live repetition indices."""
+    bound = list(steps)
+    cursor = 0
+    for position, step in enumerate(bound):
+        if step is INDEX:
+            if cursor >= len(indices):
+                raise MessageError(
+                    f"cannot resolve {path}: needs more than {len(indices)} bound indices"
+                )
+            bound[position] = indices[cursor]
+            cursor += 1
+    return bound
+
+
+def _compile_getter(path: FieldPath) -> Callable[[dict, list[int]], object]:
+    """Equivalent of ``message.get(path.resolve(indices))`` (``None`` if absent)."""
+    steps = path.steps
+    if len(steps) == 1 and isinstance(steps[0], str):
+        key = steps[0]
+
+        def get_flat(data: dict, indices: list[int]) -> object:
+            return data.get(key)
+
+        return get_flat
+
+    if len(steps) == 2 and isinstance(steps[0], str) and isinstance(steps[1], str):
+        first, second = steps
+
+        def get_nested(data: dict, indices: list[int]) -> object:
+            container = data.get(first)
+            if not isinstance(container, dict):
+                return None
+            return container.get(second)
+
+        return get_nested
+
+    if (len(steps) == 3 and isinstance(steps[0], str)
+            and steps[1] is INDEX and isinstance(steps[2], str)):
+        # The repetition-element shape (`headers[*].name`) — once per element
+        # terminal per message, worth a dedicated closure.
+        outer, _, inner = steps
+
+        def get_element(data: dict, indices: list[int]) -> object:
+            if not indices:
+                raise MessageError(
+                    f"cannot resolve {path}: needs more than 0 bound indices"
+                )
+            index = indices[0]
+            container = data.get(outer)
+            if not isinstance(container, list) or not 0 <= index < len(container):
+                return None
+            entry = container[index]
+            if not isinstance(entry, dict):
+                return None
+            return entry.get(inner)
+
+        return get_element
+
+    def get(data: dict, indices: list[int]) -> object:
+        container: object = data
+        cursor = 0
+        for position, step in enumerate(steps):
+            if step is INDEX:
+                if cursor >= len(indices):
+                    raise MessageError(
+                        f"cannot resolve {path}: needs more than "
+                        f"{len(indices)} bound indices"
+                    )
+                step = indices[cursor]
+                cursor += 1
+            if isinstance(step, str):
+                if not isinstance(container, dict) or step not in container:
+                    return None
+                container = container[step]
+            else:
+                if not isinstance(container, list) or not 0 <= step < len(container):
+                    return None
+                container = container[step]
+        return container
+
+    return get
+
+
+def _compile_setter(path: FieldPath) -> Callable[[dict, list[int], object], None]:
+    """Equivalent of ``message.set(path.resolve(indices), value)``."""
+    steps = path.steps
+    if len(steps) == 1 and isinstance(steps[0], str):
+        key = steps[0]
+
+        def set_flat(data: dict, indices: list[int], value: object) -> None:
+            data[key] = value
+
+        return set_flat
+
+    if len(steps) == 2 and isinstance(steps[0], str) and isinstance(steps[1], str):
+        first, second = steps
+
+        def set_nested(data: dict, indices: list[int], value: object) -> None:
+            container = data.get(first)
+            if not isinstance(container, (dict, list)):
+                container = {}
+                data[first] = container
+            if not isinstance(container, dict):
+                raise MessageError(f"expected a dict at {(first,)!r}")
+            container[second] = value
+
+        return set_nested
+
+    if (len(steps) == 3 and isinstance(steps[0], str)
+            and steps[1] is INDEX and isinstance(steps[2], str)):
+        outer, _, inner = steps
+
+        def set_element(data: dict, indices: list[int], value: object) -> None:
+            if not indices:
+                raise MessageError(
+                    f"cannot resolve {path}: needs more than 0 bound indices"
+                )
+            index = indices[0]
+            container = data.get(outer)
+            if not isinstance(container, (dict, list)):
+                container = []
+                data[outer] = container
+            if not isinstance(container, list):
+                raise MessageError(f"expected a list at {(outer,)!r}")
+            while len(container) <= index:
+                container.append(None)
+            entry = container[index]
+            if not isinstance(entry, (dict, list)):
+                entry = {}
+                container[index] = entry
+            if not isinstance(entry, dict):
+                raise MessageError(f"expected a dict at {(outer, index)!r}")
+            entry[inner] = value
+
+        return set_element
+
+    def set_(data: dict, indices: list[int], value: object) -> None:
+        container: object = data
+        bound = _bind_steps(steps, indices, path)
+        last = len(bound) - 1
+        for position in range(last):
+            step = bound[position]
+            next_step = bound[position + 1]
+            if isinstance(step, str):
+                if not isinstance(container, dict):
+                    raise MessageError(f"expected a dict at {tuple(bound[:position])!r}")
+                existing = container.get(step)
+                if isinstance(existing, (dict, list)):
+                    container = existing
+                else:
+                    created: object = [] if isinstance(next_step, int) else {}
+                    container[step] = created
+                    container = created
+            else:
+                if not isinstance(container, list):
+                    raise MessageError(f"expected a list at {tuple(bound[:position])!r}")
+                while len(container) <= step:
+                    container.append(None)
+                existing = container[step]
+                if isinstance(existing, (dict, list)):
+                    container = existing
+                else:
+                    created = [] if isinstance(next_step, int) else {}
+                    container[step] = created
+                    container = created
+        step = bound[last]
+        if isinstance(step, str):
+            if not isinstance(container, dict):
+                raise MessageError(f"expected a dict at {tuple(bound[:last])!r}")
+            container[step] = value
+        else:
+            if not isinstance(container, list):
+                raise MessageError(f"expected a list at {tuple(bound[:last])!r}")
+            while len(container) <= step:
+                container.append(None)
+            container[step] = value
+
+    return set_
+
+
+def _compile_list_init(path: FieldPath) -> Callable[[dict, list[int]], None]:
+    """Equivalent of ``if not message.has(p): message.set(p, [])`` for a list origin."""
+    setter = _compile_setter(path)
+    steps = path.steps
+    if len(steps) == 1 and isinstance(steps[0], str):
+        key = steps[0]
+
+        def init_flat(data: dict, indices: list[int]) -> None:
+            if key not in data:
+                data[key] = []
+
+        return init_flat
+
+    def init(data: dict, indices: list[int]) -> None:
+        container: object = data
+        cursor = 0
+        for step in steps:
+            if step is INDEX:
+                if cursor >= len(indices):
+                    raise MessageError(
+                        f"cannot resolve {path}: needs more than "
+                        f"{len(indices)} bound indices"
+                    )
+                step = indices[cursor]
+                cursor += 1
+            if isinstance(step, str):
+                if not isinstance(container, dict) or step not in container:
+                    setter(data, indices, [])
+                    return
+                container = container[step]
+            else:
+                if not isinstance(container, list) or not 0 <= step < len(container):
+                    setter(data, indices, [])
+                    return
+                container = container[step]
+
+    return init
+
+
+# ---------------------------------------------------------------------------
+# static size resolution
+# ---------------------------------------------------------------------------
+
+
+def _compute_static_sizes(root: Node) -> dict[str, int | None]:
+    """Resolve :func:`repro.core.graph.static_size` for every node in one pass."""
+    sizes: dict[str, int | None] = {}
+    # Post-order: children are resolved before their parent sums them.
+    stack: list[tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children:
+                stack.append((child, False))
+            continue
+        if node.type is NodeType.TERMINAL:
+            sizes[node.name] = (
+                node.boundary.size if node.boundary.kind is BoundaryKind.FIXED else None
+            )
+            continue
+        if node.type in (NodeType.OPTIONAL, NodeType.REPETITION, NodeType.TABULAR):
+            sizes[node.name] = None
+            continue
+        total: int | None = 0
+        for child in node.children:
+            child_size = sizes[child.name]
+            if child_size is None:
+                total = None
+                break
+            total += child_size
+        if (
+            total is not None
+            and node.boundary.kind is BoundaryKind.FIXED
+            and node.boundary.size != total
+        ):
+            total = None
+        sizes[node.name] = total
+    return sizes
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+
+
+class CodecPlan:
+    """Flat, precomputed execution plan of one format graph.
+
+    Attributes
+    ----------
+    ref_targets:
+        Names of the terminals referenced by a LENGTH or COUNTER boundary.
+    length_slots:
+        Length-field terminal name -> pre-built :class:`LengthSlot` template
+        (``context=()``; the serializer stamps the live repetition context).
+    counter_sources:
+        Counter-field terminal name -> ``(counted node name, counted node
+        origin path)``.
+    static_sizes:
+        Node name -> statically known serialized size, or ``None``.
+    terminals:
+        Value-carrying terminal name -> :class:`TerminalPlan`.
+    presence_origins:
+        Optional-node name -> logical origin path of its presence terminal
+        (only nodes whose presence reference resolves to an origin-carrying
+        terminal appear here).
+    origin_get / origin_set / list_init:
+        Node name -> compiled accessor over the logical message data
+        (:func:`_compile_getter` and friends); ``counter_get`` and
+        ``presence_get`` are the same accessors keyed for counter fields and
+        Optional presence checks.
+    """
+
+    __slots__ = (
+        "graph_name",
+        "ref_targets",
+        "length_slots",
+        "length_targets",
+        "counter_sources",
+        "derived_fields",
+        "static_sizes",
+        "terminals",
+        "presence_origins",
+        "origin_get",
+        "origin_set",
+        "list_init",
+        "counter_get",
+        "presence_get",
+    )
+
+    def __init__(
+        self,
+        graph_name: str,
+        ref_targets: frozenset[str],
+        length_slots: dict[str, LengthSlot],
+        length_targets: frozenset[str],
+        counter_sources: dict[str, tuple[str, FieldPath | None]],
+        static_sizes: dict[str, int | None],
+        terminals: dict[str, TerminalPlan],
+        presence_origins: dict[str, FieldPath],
+        origin_get: dict[str, Callable],
+        origin_set: dict[str, Callable],
+        list_init: dict[str, Callable],
+        counter_get: dict[str, Callable],
+        presence_get: dict[str, Callable],
+    ):
+        self.graph_name = graph_name
+        self.ref_targets = ref_targets
+        self.length_slots = length_slots
+        #: names of the LENGTH-bounded nodes: the only nodes whose measured
+        #: region length is ever read back when resolving length slots.
+        self.length_targets = length_targets
+        self.counter_sources = counter_sources
+        #: one-probe union of the two derived-field maps, checked once per
+        #: terminal per message: length-field name -> its LengthSlot template,
+        #: counter-field name -> its (counted node name, origin) tuple.
+        self.derived_fields: dict[str, LengthSlot | tuple[str, FieldPath | None]] = {
+            **counter_sources,
+            **length_slots,
+        }
+        self.static_sizes = static_sizes
+        self.terminals = terminals
+        self.presence_origins = presence_origins
+        self.origin_get = origin_get
+        self.origin_set = origin_set
+        self.list_init = list_init
+        self.counter_get = counter_get
+        self.presence_get = presence_get
+
+    def __repr__(self) -> str:
+        return (
+            f"CodecPlan({self.graph_name!r}, terminals={len(self.terminals)}, "
+            f"length_slots={len(self.length_slots)}, "
+            f"counters={len(self.counter_sources)})"
+        )
+
+
+def compile_plan(graph: FormatGraph) -> CodecPlan:
+    """Compile ``graph`` into a fresh :class:`CodecPlan` (no caching)."""
+    ref_targets: set[str] = set()
+    length_sources: dict[str, Node] = {}
+    counter_sources: dict[str, tuple[str, FieldPath | None]] = {}
+    terminal_nodes: list[Node] = []
+    origins: dict[str, FieldPath] = {}
+    presence_refs: dict[str, str] = {}
+    for node in graph.nodes():
+        kind = node.boundary.kind
+        if kind is BoundaryKind.LENGTH and node.boundary.ref is not None:
+            ref_targets.add(node.boundary.ref)
+            length_sources[node.boundary.ref] = node
+        elif kind is BoundaryKind.COUNTER and node.boundary.ref is not None:
+            ref_targets.add(node.boundary.ref)
+            counter_sources.setdefault(
+                node.boundary.ref, (node.name, node.origin)
+            )
+        if node.origin is not None:
+            origins[node.name] = node.origin
+        if node.type is NodeType.OPTIONAL and node.presence_ref is not None:
+            presence_refs[node.name] = node.presence_ref
+        if node.type is NodeType.TERMINAL and not node.is_pad:
+            terminal_nodes.append(node)
+    presence_origins = {
+        name: origins[ref] for name, ref in presence_refs.items() if ref in origins
+    }
+    origin_get: dict[str, Callable] = {}
+    origin_set: dict[str, Callable] = {}
+    list_init: dict[str, Callable] = {}
+    for node_name, origin in origins.items():
+        origin_get[node_name] = _compile_getter(origin)
+        origin_set[node_name] = _compile_setter(origin)
+        list_init[node_name] = _compile_list_init(origin)
+    counter_get = {
+        field_name: origin_get[source_name]
+        for field_name, (source_name, source_origin) in counter_sources.items()
+        if source_origin is not None
+    }
+    presence_get = {
+        name: _compile_getter(path) for name, path in presence_origins.items()
+    }
+    length_slots: dict[str, LengthSlot] = {}
+    terminals: dict[str, TerminalPlan] = {}
+    for node in terminal_nodes:
+        terminals[node.name] = TerminalPlan(
+            name=node.name,
+            decode=_compile_decode(node),
+            encode=_compile_encode(node),
+            delimiter=(
+                node.boundary.delimiter or b""
+                if node.boundary.kind is BoundaryKind.DELIMITED
+                else b""
+            ),
+        )
+        target = length_sources.get(node.name)
+        if target is not None:
+            length_slots[node.name] = LengthSlot(
+                node=node.name,
+                target=target.name,
+                width=node.boundary.size or 0,
+                endian=node.endian,
+                codec_chain=node.codec_chain,
+                mirrored=False,
+                origin=node.origin,
+                context=(),
+            )
+    return CodecPlan(
+        graph_name=graph.name,
+        ref_targets=frozenset(ref_targets),
+        length_slots=length_slots,
+        length_targets=frozenset(node.name for node in length_sources.values()),
+        counter_sources=counter_sources,
+        static_sizes=_compute_static_sizes(graph.root),
+        terminals=terminals,
+        presence_origins=presence_origins,
+        origin_get=origin_get,
+        origin_set=origin_set,
+        list_init=list_init,
+        counter_get=counter_get,
+        presence_get=presence_get,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the shared plan cache
+# ---------------------------------------------------------------------------
+
+#: Plans keyed by graph identity.  Plans hold no reference to their graph, so
+#: entries are evicted as soon as the graph itself is garbage collected.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[FormatGraph, CodecPlan]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def plan_for(graph: FormatGraph) -> CodecPlan:
+    """Cached plan of ``graph``; compiled on first use."""
+    plan = _PLAN_CACHE.get(graph)
+    if plan is None:
+        plan = compile_plan(graph)
+        _PLAN_CACHE[graph] = plan
+    return plan
+
+
+def invalidate(graph: FormatGraph) -> bool:
+    """Drop the cached plan of ``graph`` (after an in-place transformation).
+
+    Returns True when a cached plan was actually dropped.
+    """
+    return _PLAN_CACHE.pop(graph, None) is not None
+
+
+def cached_plan_count() -> int:
+    """Number of live cached plans (diagnostics and tests)."""
+    return len(_PLAN_CACHE)

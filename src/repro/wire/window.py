@@ -48,11 +48,19 @@ class Window:
 
     def peek(self, count: int) -> bytes:
         """Return up to ``count`` bytes without consuming them."""
-        return self._data[self._cursor : min(self._cursor + count, self._end)]
+        end = self._cursor + count
+        if end > self._end:
+            end = self._end
+        return self._data[self._cursor : end]
 
     def starts_with(self, prefix: bytes) -> bool:
-        """True when the unread bytes start with ``prefix``."""
-        return self.peek(len(prefix)) == prefix
+        """True when the unread bytes start with ``prefix``.
+
+        Compared in place with :meth:`bytes.startswith` bounds — this runs
+        once per element in every delimited repetition loop, so it must not
+        allocate a slice per check.
+        """
+        return self._data.startswith(prefix, self._cursor, self._end)
 
     # -- consumption ----------------------------------------------------------
 
@@ -60,19 +68,20 @@ class Window:
         """Consume exactly ``count`` bytes."""
         if count < 0:
             raise ParseError(f"cannot read a negative number of bytes ({count})")
-        if self.remaining() < count:
+        cursor = self._cursor
+        end = cursor + count
+        if end > self._end:
             raise ParseError(
                 f"unexpected end of data: needed {count} byte(s), "
-                f"{self.remaining()} available",
-                offset=self._cursor,
+                f"{self._end - cursor} available",
+                offset=cursor,
             )
-        data = self._data[self._cursor : self._cursor + count]
-        self._cursor += count
-        return data
+        self._cursor = end
+        return self._data[cursor:end]
 
     def read_rest(self) -> bytes:
         """Consume every remaining byte of the window."""
-        return self.read(self.remaining())
+        return self.read(self._end - self._cursor)
 
     def read_until(self, delimiter: bytes) -> bytes:
         """Consume bytes up to and including ``delimiter``; return the bytes before it."""

@@ -1,0 +1,80 @@
+"""Tests of the parallel experiment harness.
+
+The paper's experiment protocol derives all randomness of one run from
+``run_seed = seed*10_000 + passes*100 + run_index``, which makes runs
+independent of execution order.  ``ExperimentRunner.run_level`` exploits this
+to fan the runs of one level out over a process pool; these tests pin the
+bit-identity contract between the sequential and parallel executions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.runner import _run_once_task
+
+
+def _signatures(runs):
+    return [run.deterministic_signature() for run in runs]
+
+
+def test_run_once_is_deterministic_for_fixed_indices():
+    runner = ExperimentRunner("modbus", seed=5, runs_per_level=2, messages_per_run=3)
+    first = runner.run_once(passes=1, run_index=1)
+    second = runner.run_once(passes=1, run_index=1)
+    assert first.deterministic_signature() == second.deterministic_signature()
+
+
+def test_deterministic_signature_excludes_wall_clock_fields():
+    runner = ExperimentRunner("modbus", seed=5, runs_per_level=1, messages_per_run=3)
+    run = runner.run_once(passes=1, run_index=0)
+    signature = run.deterministic_signature()
+    assert run.protocol in signature
+    for timing in (run.generation_ms, run.parse_ms, run.serialize_ms):
+        assert timing not in signature
+
+
+def test_worker_task_reproduces_in_process_run():
+    runner = ExperimentRunner("modbus", seed=7, runs_per_level=2, messages_per_run=3)
+    direct = runner.run_once(passes=2, run_index=1)
+    via_task = _run_once_task("modbus", 7, 3, None, None, 2, 1)
+    assert direct.deterministic_signature() == via_task.deterministic_signature()
+
+
+@pytest.mark.parametrize("passes", [0, 1])
+def test_parallel_run_level_is_bit_identical_to_sequential(passes):
+    sequential = ExperimentRunner("modbus", seed=5, runs_per_level=3, messages_per_run=3)
+    parallel = ExperimentRunner("modbus", seed=5, runs_per_level=3, messages_per_run=3,
+                                parallel=True, max_workers=2)
+    assert _signatures(sequential.run_level(passes)) == _signatures(parallel.run_level(passes))
+
+
+def test_unpicklable_configuration_falls_back_to_sequential():
+    from repro.transforms.base import Transformation, TransformationCategory
+
+    class Unpicklable(Transformation):
+        name = "unpicklable"
+        category = TransformationCategory.AGGREGATION
+
+        def __init__(self):
+            self.fn = lambda: None  # lambdas cannot cross process boundaries
+
+        def is_applicable(self, graph, node):
+            return False
+
+        def apply(self, graph, node, rng):  # pragma: no cover - never applicable
+            raise NotImplementedError
+
+    runner = ExperimentRunner("modbus", seed=9, runs_per_level=2, messages_per_run=2,
+                              parallel=True, transformations=[Unpicklable()])
+    runs = runner.run_level(passes=1)  # must not raise: sequential fallback
+    assert len(runs) == 2
+
+
+def test_parallel_preserves_run_order():
+    runner = ExperimentRunner("http", seed=2, runs_per_level=3, messages_per_run=2,
+                              parallel=True, max_workers=3)
+    runs = runner.run_level(passes=1)
+    reference = ExperimentRunner("http", seed=2, runs_per_level=3, messages_per_run=2)
+    assert _signatures(runs) == _signatures(reference.run_level(passes=1))
