@@ -1,0 +1,344 @@
+"""Frozen snapshot of the pre-PR3 PRE engine (commit ff24eec).
+
+This module vendors the quadratic inference pipeline verbatim — full-matrix
+Needleman–Wunsch with traceback for every message pair, the all-pairs rescan
+agglomerative clustering and the per-pair realignment of the field
+delimitation — so that the resilience scale suite can measure the fast engine
+against the *actual* pre-PR3 execution model reproducibly, on every machine,
+without checking out the old commit.  Do not modernize this file: its value
+is that it does not change.
+
+Only the module layout differs from the snapshot (four modules folded into
+one, relative imports dropped); every algorithm, constant and tie-break is
+byte-for-byte the old behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+# ---------------------------------------------------------------------------
+# alignment (snapshot of src/repro/pre/alignment.py)
+# ---------------------------------------------------------------------------
+
+#: Alignment gap marker.
+GAP: Optional[int] = None
+
+MATCH_SCORE = 2
+MISMATCH_SCORE = -1
+GAP_PENALTY = -2
+
+
+@dataclass(frozen=True)
+class LegacyAlignment:
+    """Result of aligning two byte sequences."""
+
+    first: tuple[Optional[int], ...]
+    second: tuple[Optional[int], ...]
+    score: int
+
+    def __post_init__(self) -> None:
+        if len(self.first) != len(self.second):
+            raise ValueError("aligned sequences must have the same length")
+
+    @property
+    def length(self) -> int:
+        return len(self.first)
+
+    def matches(self) -> int:
+        """Number of positions where both sequences carry the same byte."""
+        return sum(
+            1 for a, b in zip(self.first, self.second) if a is not None and a == b
+        )
+
+    def identity(self) -> float:
+        """Fraction of aligned positions that match (0 when the alignment is empty)."""
+        return self.matches() / self.length if self.length else 0.0
+
+
+def legacy_needleman_wunsch(first: bytes, second: bytes, *,
+                            match: int = MATCH_SCORE,
+                            mismatch: int = MISMATCH_SCORE,
+                            gap: int = GAP_PENALTY) -> LegacyAlignment:
+    """Globally align two byte strings with the Needleman–Wunsch algorithm."""
+    rows, cols = len(first), len(second)
+    # Dynamic-programming score matrix, stored row by row.
+    scores = [[0] * (cols + 1) for _ in range(rows + 1)]
+    for row in range(1, rows + 1):
+        scores[row][0] = row * gap
+    for col in range(1, cols + 1):
+        scores[0][col] = col * gap
+    for row in range(1, rows + 1):
+        byte_a = first[row - 1]
+        score_row = scores[row]
+        prev_row = scores[row - 1]
+        for col in range(1, cols + 1):
+            diagonal = prev_row[col - 1] + (match if byte_a == second[col - 1] else mismatch)
+            upper = prev_row[col] + gap
+            left = score_row[col - 1] + gap
+            score_row[col] = max(diagonal, upper, left)
+
+    aligned_first: list[Optional[int]] = []
+    aligned_second: list[Optional[int]] = []
+    row, col = rows, cols
+    while row > 0 or col > 0:
+        if row > 0 and col > 0:
+            step = match if first[row - 1] == second[col - 1] else mismatch
+            if scores[row][col] == scores[row - 1][col - 1] + step:
+                aligned_first.append(first[row - 1])
+                aligned_second.append(second[col - 1])
+                row -= 1
+                col -= 1
+                continue
+        if row > 0 and scores[row][col] == scores[row - 1][col] + gap:
+            aligned_first.append(first[row - 1])
+            aligned_second.append(GAP)
+            row -= 1
+            continue
+        aligned_first.append(GAP)
+        aligned_second.append(second[col - 1])
+        col -= 1
+    aligned_first.reverse()
+    aligned_second.reverse()
+    return LegacyAlignment(
+        first=tuple(aligned_first),
+        second=tuple(aligned_second),
+        score=scores[rows][cols],
+    )
+
+
+def legacy_alignment_offsets(alignment: LegacyAlignment
+                             ) -> list[tuple[Optional[int], Optional[int]]]:
+    """Map aligned columns to (offset in first, offset in second) pairs."""
+    offsets: list[tuple[Optional[int], Optional[int]]] = []
+    position_first = position_second = 0
+    for byte_a, byte_b in zip(alignment.first, alignment.second):
+        offset_a = position_first if byte_a is not None else None
+        offset_b = position_second if byte_b is not None else None
+        offsets.append((offset_a, offset_b))
+        if byte_a is not None:
+            position_first += 1
+        if byte_b is not None:
+            position_second += 1
+    return offsets
+
+
+def legacy_similarity(first: bytes, second: bytes) -> float:
+    """Alignment-based similarity in [0, 1] (identity of the global alignment)."""
+    if not first and not second:
+        return 1.0
+    return legacy_needleman_wunsch(first, second).identity()
+
+
+def legacy_pairwise_similarity(messages: Sequence[bytes]) -> list[list[float]]:
+    """Symmetric similarity matrix of a list of messages."""
+    count = len(messages)
+    matrix = [[1.0] * count for _ in range(count)]
+    for row in range(count):
+        for col in range(row + 1, count):
+            value = legacy_similarity(messages[row], messages[col])
+            matrix[row][col] = value
+            matrix[col][row] = value
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# clustering (snapshot of src/repro/pre/clustering.py)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LegacyClustering:
+    """Result of classifying a list of messages."""
+
+    clusters: tuple[tuple[int, ...], ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.clusters)
+
+    def labels(self) -> list[int]:
+        """Cluster index of every message, by message position."""
+        size = sum(len(cluster) for cluster in self.clusters)
+        labels = [0] * size
+        for index, cluster in enumerate(self.clusters):
+            for member in cluster:
+                labels[member] = index
+        return labels
+
+
+def legacy_cluster_messages(messages: Sequence[bytes], *, threshold: float = 0.8,
+                            similarity_matrix: Sequence[Sequence[float]] | None = None
+                            ) -> LegacyClustering:
+    """Cluster messages whose average-linkage similarity exceeds ``threshold``."""
+    count = len(messages)
+    if count == 0:
+        return LegacyClustering(clusters=())
+    matrix = (
+        [list(row) for row in similarity_matrix]
+        if similarity_matrix is not None
+        else legacy_pairwise_similarity(messages)
+    )
+    clusters: list[list[int]] = [[index] for index in range(count)]
+
+    def average_linkage(first: list[int], second: list[int]) -> float:
+        total = 0.0
+        for a in first:
+            for b in second:
+                total += matrix[a][b]
+        return total / (len(first) * len(second))
+
+    while len(clusters) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_value = threshold
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                value = average_linkage(clusters[i], clusters[j])
+                if value >= best_value:
+                    best_value = value
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        clusters[i] = clusters[i] + clusters[j]
+        del clusters[j]
+    return LegacyClustering(clusters=tuple(tuple(sorted(cluster)) for cluster in clusters))
+
+
+# ---------------------------------------------------------------------------
+# fields (snapshot of src/repro/pre/fields.py)
+# ---------------------------------------------------------------------------
+
+#: Delimiter bytes commonly used by trace-based inference tools.
+KNOWN_DELIMITERS = (0x20, 0x0D, 0x0A, 0x00, 0x3A)
+
+
+@dataclass(frozen=True)
+class LegacyInferredFields:
+    """Field segmentation inferred for one cluster of messages."""
+
+    reference_index: int
+    reference_boundaries: tuple[int, ...]
+    per_message_boundaries: dict[int, frozenset[int]]
+
+
+def _legacy_constant_positions(reference: bytes, others: Sequence[bytes]) -> list[bool]:
+    """For each reference offset, is the byte identical across all aligned messages?"""
+    constant = [True] * len(reference)
+    for other in others:
+        alignment = legacy_needleman_wunsch(reference, other)
+        matched = [False] * len(reference)
+        for (ref_offset, _), (byte_a, byte_b) in zip(
+            legacy_alignment_offsets(alignment), zip(alignment.first, alignment.second)
+        ):
+            if ref_offset is not None and byte_a is not None and byte_a == byte_b:
+                matched[ref_offset] = True
+        for offset, is_matched in enumerate(matched):
+            if not is_matched:
+                constant[offset] = False
+    return constant
+
+
+def _legacy_segment(reference: bytes, constant: Sequence[bool]) -> list[int]:
+    """Cut positions derived from constancy changes and known delimiters."""
+    boundaries: set[int] = set()
+    for offset in range(1, len(reference)):
+        if constant[offset] != constant[offset - 1]:
+            boundaries.add(offset)
+        if reference[offset - 1] in KNOWN_DELIMITERS and reference[offset] not in KNOWN_DELIMITERS:
+            boundaries.add(offset)
+        if reference[offset] in KNOWN_DELIMITERS and reference[offset - 1] not in KNOWN_DELIMITERS:
+            boundaries.add(offset)
+    return sorted(boundaries)
+
+
+def _legacy_project_boundaries(reference: bytes, target: bytes,
+                               reference_boundaries: Sequence[int]) -> frozenset[int]:
+    """Map reference boundary offsets onto a target message via alignment."""
+    alignment = legacy_needleman_wunsch(reference, target)
+    mapping: dict[int, int] = {}
+    for ref_offset, target_offset in legacy_alignment_offsets(alignment):
+        if ref_offset is not None and target_offset is not None:
+            mapping[ref_offset] = target_offset
+    projected: set[int] = set()
+    for boundary in reference_boundaries:
+        if boundary in mapping:
+            projected.add(mapping[boundary])
+    projected.discard(0)
+    projected.discard(len(target))
+    return frozenset(projected)
+
+
+def legacy_infer_fields(messages: Sequence[bytes], members: Sequence[int]
+                        ) -> LegacyInferredFields:
+    """Infer the field segmentation of one cluster."""
+    if not members:
+        return LegacyInferredFields(reference_index=-1, reference_boundaries=(),
+                                    per_message_boundaries={})
+    reference_index = max(members, key=lambda index: len(messages[index]))
+    reference = messages[reference_index]
+    others = [messages[index] for index in members if index != reference_index]
+    constant = (
+        _legacy_constant_positions(reference, others) if others else [True] * len(reference)
+    )
+    reference_boundaries = _legacy_segment(reference, constant)
+    per_message: dict[int, frozenset[int]] = {}
+    for index in members:
+        if index == reference_index:
+            per_message[index] = frozenset(
+                boundary for boundary in reference_boundaries
+                if 0 < boundary < len(reference)
+            )
+        else:
+            per_message[index] = _legacy_project_boundaries(
+                reference, messages[index], reference_boundaries
+            )
+    return LegacyInferredFields(
+        reference_index=reference_index,
+        reference_boundaries=tuple(reference_boundaries),
+        per_message_boundaries=per_message,
+    )
+
+
+# ---------------------------------------------------------------------------
+# inference (snapshot of src/repro/pre/inference.py)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LegacyInferenceResult:
+    """Outcome of running the PRE engine on a trace."""
+
+    messages: tuple[bytes, ...]
+    clustering: LegacyClustering
+    fields: tuple[LegacyInferredFields, ...]
+
+    def boundaries_for(self, message_index: int) -> frozenset[int]:
+        """Field boundary offsets inferred for one captured message."""
+        for inferred in self.fields:
+            if message_index in inferred.per_message_boundaries:
+                return inferred.per_message_boundaries[message_index]
+        return frozenset()
+
+    @property
+    def cluster_count(self) -> int:
+        return self.clustering.count
+
+
+def legacy_infer_formats(messages: Sequence[bytes], *,
+                         similarity_threshold: float = 0.65) -> LegacyInferenceResult:
+    """Classify ``messages`` and infer each class's field segmentation."""
+    trace = tuple(bytes(message) for message in messages)
+    if not trace:
+        return LegacyInferenceResult(
+            messages=(), clustering=LegacyClustering(clusters=()), fields=()
+        )
+    matrix = legacy_pairwise_similarity(trace)
+    clustering = legacy_cluster_messages(
+        trace, threshold=similarity_threshold, similarity_matrix=matrix
+    )
+    fields = tuple(
+        legacy_infer_fields(trace, cluster) for cluster in clustering.clusters
+    )
+    return LegacyInferenceResult(messages=trace, clustering=clustering, fields=fields)

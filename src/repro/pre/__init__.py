@@ -3,7 +3,10 @@
 from .alignment import (
     Alignment,
     alignment_offsets,
+    banded_nw_score,
+    clear_similarity_cache,
     needleman_wunsch,
+    nw_score,
     pairwise_similarity,
     similarity,
 )
@@ -21,10 +24,13 @@ __all__ = [
     "InferenceScore",
     "InferredFields",
     "alignment_offsets",
+    "banded_nw_score",
+    "clear_similarity_cache",
     "cluster_messages",
     "infer_fields",
     "infer_formats",
     "needleman_wunsch",
+    "nw_score",
     "pairwise_similarity",
     "purity",
     "score_boundaries",

@@ -5,12 +5,36 @@ on global sequence alignment to line up messages of the same type before
 inferring field boundaries.  This module provides the classic
 Needleman–Wunsch algorithm with affine-free (linear) gap penalties, plus the
 similarity score derived from an alignment.
+
+Two execution models coexist:
+
+* :func:`needleman_wunsch` — the full dynamic-programming matrix with
+  traceback, producing an :class:`Alignment`.  Field inference needs the
+  column-by-column alignment, so this path is kept byte-for-byte unchanged.
+* the score-only engine behind :func:`similarity` — a banded two-row DP
+  (:func:`banded_nw_score`, band width derived from the length difference of
+  the two messages) that never materializes the matrix or the traceback, plus
+  fast paths for identical and empty messages and a dedup/memo/parallel
+  :func:`pairwise_similarity`.  Every fast path is *exact*: ``similarity``
+  returns bit-identical values to the traceback-based implementation for all
+  inputs (the banded pass is only trusted when a provable certificate holds,
+  see :func:`_certificate_floor`; otherwise the full-width pass runs).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+from math import log as _LOG
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Optional, Sequence
+
+try:  # optional accelerator: vectorized score matrix for long message pairs
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is absent on minimal installs
+    _np = None
 
 #: Alignment gap marker.
 GAP: Optional[int] = None
@@ -18,6 +42,23 @@ GAP: Optional[int] = None
 MATCH_SCORE = 2
 MISMATCH_SCORE = -1
 GAP_PENALTY = -2
+
+#: Sentinel for dynamic-programming cells outside the band.
+_NEG_INF = -(1 << 60)
+#: Initial band slack (half-width beyond the length difference); widened
+#: geometrically (x4) while the band stays under half the shorter message,
+#: then the full-width pass runs.
+_INITIAL_SLACK = 8
+#: Minimum matrix size (cells) before the vectorized full-width pass is used.
+_NUMPY_MIN_CELLS = 4096
+#: Minimum number of equal-shape pairs before the batched vectorized DP runs.
+_BATCH_MIN_PAIRS = 4
+#: Soft cap on cells per batched DP chunk (bounds the working-set memory).
+_BATCH_MAX_CELLS = 4_000_000
+#: Cap on pairs per batched DP chunk (bounds padding waste on mixed shapes).
+_BATCH_MAX_PAIRS = 512
+#: Upper bound on the ordered-pair similarity memo (entries).
+_PAIR_CACHE_LIMIT = 1 << 15
 
 
 @dataclass(frozen=True)
@@ -113,20 +154,493 @@ def alignment_offsets(alignment: Alignment) -> list[tuple[Optional[int], Optiona
     return offsets
 
 
+# ---------------------------------------------------------------------------
+# score-only engine
+# ---------------------------------------------------------------------------
+
+
+def _banded_pass(first: bytes, second: bytes, lo: int, hi: int,
+                 match: int, mismatch: int, gap: int) -> tuple[int, int]:
+    """Two-row DP over the band ``lo <= col - row <= hi``.
+
+    Returns ``(score, aligned_pairs)`` of the best in-band path, where the
+    path is selected with exactly the traceback's tie-break (diagonal, then
+    up, then left).  With ``lo <= -rows`` and ``hi >= cols`` this is the
+    full-width score-only Needleman–Wunsch.
+    """
+    rows, cols = len(first), len(second)
+    size = cols + 1
+    score_prev = [_NEG_INF] * size
+    pairs_prev = [0] * size
+    score_cur = [_NEG_INF] * size
+    pairs_cur = [0] * size
+
+    top = min(cols, hi)
+    for col in range(top + 1):
+        score_prev[col] = col * gap
+    if top + 1 <= cols:
+        score_prev[top + 1] = _NEG_INF
+
+    for row in range(1, rows + 1):
+        jlo = max(0, row + lo)
+        jhi = min(cols, row + hi)
+        byte_a = first[row - 1]
+        if jlo == 0:
+            score_cur[0] = row * gap
+            pairs_cur[0] = 0
+            left_score = score_cur[0]
+            left_pairs = 0
+            start = 1
+        else:
+            left_score = _NEG_INF
+            left_pairs = 0
+            start = jlo
+        # Substitution scores of this row's band, computed in one C-level pass.
+        subs = [match if byte == byte_a else mismatch
+                for byte in second[start - 1:jhi]]
+        for offset in range(jhi - start + 1):
+            col = start + offset
+            diagonal = score_prev[col - 1] + subs[offset]
+            upper = score_prev[col] + gap
+            left = left_score + gap
+            best = diagonal if diagonal >= upper else upper
+            if left > best:
+                best = left
+            # Predecessor choice mirrors the traceback's tie-break exactly.
+            if best == diagonal:
+                best_pairs = pairs_prev[col - 1] + 1
+            elif best == upper:
+                best_pairs = pairs_prev[col]
+            else:
+                best_pairs = left_pairs
+            score_cur[col] = best
+            pairs_cur[col] = best_pairs
+            left_score = best
+            left_pairs = best_pairs
+        # Seal the band edges so the next row cannot read stale cells.
+        if jlo > 0:
+            score_cur[jlo - 1] = _NEG_INF
+        if jhi < cols:
+            score_cur[jhi + 1] = _NEG_INF
+        score_prev, score_cur = score_cur, score_prev
+        pairs_prev, pairs_cur = pairs_cur, pairs_prev
+    return score_prev[cols], pairs_prev[cols]
+
+
+def _identical_fast_path_valid(match: int, mismatch: int, gap: int) -> bool:
+    """Is the all-diagonal alignment provably optimal for identical inputs?
+
+    Any alignment of two copies of an L-byte string scores at most
+    ``match*P + gap*(2L - 2P)`` over its P aligned pairs (requires
+    ``mismatch <= match``), and the all-diagonal path (P = L) dominates that
+    bound exactly when ``match >= 2*gap``.  Exotic scorings that violate
+    either condition must run the DP.
+    """
+    return match >= 2 * gap and mismatch <= match
+
+
+def nw_score(first: bytes, second: bytes, *,
+             match: int = MATCH_SCORE,
+             mismatch: int = MISMATCH_SCORE,
+             gap: int = GAP_PENALTY) -> int:
+    """Exact Needleman–Wunsch score without matrix or traceback (two rows)."""
+    first, second = bytes(first), bytes(second)
+    if first == second and _identical_fast_path_valid(match, mismatch, gap):
+        return match * len(first)
+    if not first or not second:
+        # Every alignment of an empty string is the forced all-gap one.
+        return gap * (len(first) + len(second))
+    score, _ = _banded_pass(first, second, -len(first), len(second),
+                            match, mismatch, gap)
+    return score
+
+
+def banded_nw_score(first: bytes, second: bytes, *,
+                    slack: int = _INITIAL_SLACK,
+                    match: int = MATCH_SCORE,
+                    mismatch: int = MISMATCH_SCORE,
+                    gap: int = GAP_PENALTY) -> int:
+    """Score of the best alignment whose path stays within the band.
+
+    The band is derived from the length difference of the messages: paths may
+    deviate at most ``slack`` cells beyond the diagonal corridor connecting
+    the two corners.  The result is always the score of a *valid* alignment
+    (a lower bound of :func:`nw_score`), and equals it whenever the optimal
+    path fits in the band — which :func:`similarity` certifies before
+    trusting a banded result.
+    """
+    first, second = bytes(first), bytes(second)
+    if first == second and _identical_fast_path_valid(match, mismatch, gap):
+        return match * len(first)
+    if not first or not second:
+        # Every alignment of an empty string is the forced all-gap one.
+        return gap * (len(first) + len(second))
+    delta = len(second) - len(first)
+    score, _ = _banded_pass(first, second, min(0, delta) - slack,
+                            max(0, delta) + slack, match, mismatch, gap)
+    return score
+
+
+def _certificate_floor(shorter: int, total: int, slack: int) -> int:
+    """Best score any path *leaving* the band could still reach.
+
+    A path that deviates ``slack + 1`` cells beyond the corridor spends at
+    least ``slack + 1`` extra gap pairs, capping its aligned pairs at
+    ``shorter - slack - 1``.  With score written as
+    ``alpha*matches + beta*pairs + gap*total`` (``alpha = match - mismatch``,
+    ``beta = mismatch - 2*gap``, both non-negative for the module scoring),
+    its score is therefore at most the value returned here.  A banded score
+    strictly above this floor proves that every optimal path — including the
+    one the traceback would walk — stays inside the band.
+    """
+    alpha = MATCH_SCORE - MISMATCH_SCORE
+    beta = MISMATCH_SCORE - 2 * GAP_PENALTY
+    return (alpha + beta) * (shorter - slack - 1) + GAP_PENALTY * total
+
+
+def _identity_from_stats(score: int, pairs: int, total: int) -> float:
+    """Identity of the traceback path reconstructed from score and pair count.
+
+    With the module scoring, ``score = alpha*M + beta*P + gap*total`` pins the
+    match count ``M`` once the aligned-pair count ``P`` is known; the aligned
+    length is ``total - P``.
+    """
+    alpha = MATCH_SCORE - MISMATCH_SCORE
+    beta = MISMATCH_SCORE - 2 * GAP_PENALTY
+    matches = (score - beta * pairs - GAP_PENALTY * total) // alpha
+    return matches / (total - pairs)
+
+
+def _vectorized_identity(first: bytes, second: bytes) -> float:
+    """Full-matrix identity for long pairs: numpy row recurrence + traceback.
+
+    The score matrix rows satisfy ``row[j] = max(G[j], row[j-1] + gap)`` where
+    ``G`` carries the diagonal/up candidates; the left-gap chain is a running
+    maximum of ``G[j] - j*gap``, so each row is a handful of vector
+    operations.  The traceback then walks the exact matrix with the exact
+    tie-break of :func:`needleman_wunsch`, so the identity is bit-identical.
+    """
+    match, mismatch, gap = MATCH_SCORE, MISMATCH_SCORE, GAP_PENALTY
+    rows, cols = len(first), len(second)
+    a = _np.frombuffer(first, dtype=_np.uint8)
+    b = _np.frombuffer(second, dtype=_np.uint8)
+    col_gaps = gap * _np.arange(cols + 1, dtype=_np.int64)
+    matrix = _np.empty((rows + 1, cols + 1), dtype=_np.int64)
+    matrix[0] = col_gaps
+    candidates = _np.empty(cols + 1, dtype=_np.int64)
+    for row in range(1, rows + 1):
+        prev = matrix[row - 1]
+        subs = _np.where(b == a[row - 1], match, mismatch)
+        candidates[0] = row * gap
+        _np.maximum(prev[:-1] + subs, prev[1:] + gap, out=candidates[1:])
+        shifted = candidates - col_gaps
+        _np.maximum.accumulate(shifted, out=shifted)
+        _np.add(shifted, col_gaps, out=matrix[row])
+    # The traceback only visits O(rows + cols) cells, so index the matrix
+    # directly rather than boxing every cell with tolist().
+    row, col = rows, cols
+    matches = 0
+    length = 0
+    while row > 0 or col > 0:
+        if row > 0 and col > 0:
+            equal = first[row - 1] == second[col - 1]
+            step = match if equal else mismatch
+            if matrix[row, col] == matrix[row - 1, col - 1] + step:
+                if equal:
+                    matches += 1
+                length += 1
+                row -= 1
+                col -= 1
+                continue
+        if row > 0 and matrix[row, col] == matrix[row - 1, col] + gap:
+            length += 1
+            row -= 1
+            continue
+        length += 1
+        col -= 1
+    return matches / length
+
+
+def _batched_identity(firsts: Sequence[bytes], seconds: Sequence[bytes]
+                      ) -> list[float]:
+    """Traceback identities of many message pairs in one vectorized DP.
+
+    The pairs may have any (non-zero) lengths: both sides are padded to the
+    batch maxima.  The DP tracks, per pair and per column, the score *and*
+    the aligned-pair count of the path the traceback would walk: the
+    diagonal/up choice is a mask (diagonal wins ties, as in the traceback),
+    and the left-gap chain is resolved with a running maximum — a cell takes
+    ``left`` only when the left value strictly beats the diagonal/up
+    candidate, again exactly the traceback's precedence.  Padding cannot leak
+    into a pair's result: a DP column only ever depends on columns to its
+    left, so cells up to ``len(second)`` never see padded columns, and each
+    pair's result is captured at its own corner ``(len(first), len(second))``
+    before padded rows are computed.  Identities are therefore bit-identical
+    to :func:`needleman_wunsch` + ``identity()``.
+    """
+    match, mismatch, gap = MATCH_SCORE, MISMATCH_SCORE, GAP_PENALTY
+    batch = len(firsts)
+    row_lengths = [len(first) for first in firsts]
+    col_lengths = [len(second) for second in seconds]
+    rows = max(row_lengths)
+    cols = max(col_lengths)
+    finishing: dict[int, list[int]] = {}
+    for index, length in enumerate(row_lengths):
+        finishing.setdefault(length, []).append(index)
+    a = _np.frombuffer(
+        b"".join(first.ljust(rows, b"\0") for first in firsts), dtype=_np.uint8
+    ).reshape(batch, rows)
+    b = _np.frombuffer(
+        b"".join(second.ljust(cols, b"\0") for second in seconds), dtype=_np.uint8
+    ).reshape(batch, cols)
+    # int32 throughout: scores are bounded by ±(match - gap)·(rows + cols),
+    # far inside the int32 range, and the narrower cells halve memory traffic.
+    col_ends = _np.asarray(col_lengths, dtype=_np.intp)
+    col_gaps = gap * _np.arange(cols + 1, dtype=_np.int32)
+    columns = _np.arange(cols + 1)
+    row_index = _np.arange(batch)[:, None]
+    score_prev = _np.tile(col_gaps, (batch, 1))
+    pairs_prev = _np.zeros((batch, cols + 1), dtype=_np.int32)
+    candidates = _np.empty((batch, cols + 1), dtype=_np.int32)
+    cand_pairs = _np.empty((batch, cols + 1), dtype=_np.int32)
+    records = _np.empty((batch, cols + 1), dtype=bool)
+    final_scores = _np.empty(batch, dtype=_np.int64)
+    final_pairs = _np.empty(batch, dtype=_np.int64)
+    for row in range(1, rows + 1):
+        subs = _np.where(b == a[:, row - 1:row], match, mismatch)
+        diagonal = score_prev[:, :-1] + subs
+        upper = score_prev[:, 1:] + gap
+        candidates[:, 0] = row * gap
+        _np.maximum(diagonal, upper, out=candidates[:, 1:])
+        cand_pairs[:, 0] = 0
+        cand_pairs[:, 1:] = _np.where(diagonal >= upper,
+                                      pairs_prev[:, :-1] + 1, pairs_prev[:, 1:])
+        adjusted = candidates - col_gaps
+        running = _np.maximum.accumulate(adjusted, axis=1)
+        # A column is a "record" when its diagonal/up candidate is at least as
+        # good as the left chain reaching it — the traceback prefers it then.
+        records[:, 0] = True
+        _np.greater_equal(adjusted[:, 1:], running[:, :-1], out=records[:, 1:])
+        origins = _np.maximum.accumulate(_np.where(records, columns, -1), axis=1)
+        score_prev = running + col_gaps
+        pairs_prev = cand_pairs[row_index, origins]
+        done = finishing.get(row)
+        if done is not None:
+            ends = col_ends[done]
+            final_scores[done] = score_prev[done, ends]
+            final_pairs[done] = pairs_prev[done, ends]
+    alpha = MATCH_SCORE - MISMATCH_SCORE
+    beta = MISMATCH_SCORE - 2 * GAP_PENALTY
+    totals = _np.asarray(row_lengths, dtype=_np.int64) + col_ends
+    matches = (final_scores - beta * final_pairs - gap * totals) // alpha
+    return (matches / (totals - final_pairs)).tolist()
+
+
+def _alignment_identity(first: bytes, second: bytes) -> float:
+    """Exact traceback identity via banded passes with a widening band."""
+    rows, cols = len(first), len(second)
+    shorter = min(rows, cols)
+    total = rows + cols
+    delta = cols - rows
+    lo, hi = min(0, delta), max(0, delta)
+    slack = _INITIAL_SLACK
+    while hi - lo + 2 * slack + 1 <= shorter // 2:
+        score, pairs = _banded_pass(first, second, lo - slack, hi + slack,
+                                    MATCH_SCORE, MISMATCH_SCORE, GAP_PENALTY)
+        if score > _certificate_floor(shorter, total, slack):
+            return _identity_from_stats(score, pairs, total)
+        slack *= 4
+    if _np is not None and rows * cols >= _NUMPY_MIN_CELLS:
+        return _vectorized_identity(first, second)
+    score, pairs = _banded_pass(first, second, -rows, cols,
+                                MATCH_SCORE, MISMATCH_SCORE, GAP_PENALTY)
+    return _identity_from_stats(score, pairs, total)
+
+
 def similarity(first: bytes, second: bytes) -> float:
     """Alignment-based similarity in [0, 1] (identity of the global alignment)."""
-    if not first and not second:
+    first, second = bytes(first), bytes(second)
+    if first == second:
+        # Identical messages (including both-empty) align all-diagonal.
         return 1.0
-    return needleman_wunsch(first, second).identity()
+    if not first or not second:
+        # Empty versus non-empty aligns as all gaps: zero matches.
+        return 0.0
+    return _alignment_identity(first, second)
 
 
-def pairwise_similarity(messages: Sequence[bytes]) -> list[list[float]]:
-    """Symmetric similarity matrix of a list of messages."""
+# ---------------------------------------------------------------------------
+# similarity matrix: dedup, memoization, optional process-pool fan-out
+# ---------------------------------------------------------------------------
+
+#: Memo of similarity values keyed by *ordered* content pair.  The order
+#: matters: the traceback tie-break is not symmetric, so ``similarity(a, b)``
+#: and ``similarity(b, a)`` may legitimately differ.
+_PAIR_CACHE: dict[tuple[bytes, bytes], float] = {}
+
+
+def clear_similarity_cache() -> None:
+    """Drop the memoized pair similarities (mainly for tests and benchmarks)."""
+    _PAIR_CACHE.clear()
+
+
+def _cached_similarity(first: bytes, second: bytes) -> float:
+    key = (first, second)
+    value = _PAIR_CACHE.get(key)
+    if value is None:
+        if len(_PAIR_CACHE) >= _PAIR_CACHE_LIMIT:
+            _PAIR_CACHE.clear()
+        value = similarity(first, second)
+        _PAIR_CACHE[key] = value
+    return value
+
+
+def _similarity_batch(pairs: Sequence[tuple[bytes, bytes]]) -> list[float]:
+    """Worker task: similarity of a chunk of ordered content pairs.
+
+    Routes through the same bucketed/vectorized dispatcher as the sequential
+    path, so a process-pool worker retains the batched-DP speedup within its
+    chunk instead of degrading to pair-at-a-time alignment.
+    """
+    return _pair_values(pairs)
+
+
+def _parallel_pair_values(pending: Sequence[tuple[bytes, bytes]],
+                          max_workers: int | None) -> list[float] | None:
+    """Fan ordered content pairs over a process pool; ``None`` on fallback.
+
+    Mirrors :meth:`repro.experiments.ExperimentRunner._run_level_parallel`:
+    fork context when available, silent sequential fallback when no pool can
+    be started or the pool breaks.  ``similarity`` is a pure function of the
+    pair, so the parallel matrix is bit-identical to the sequential one.
+    """
+    workers = max_workers
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, len(pending)))
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    except (OSError, ValueError):
+        return None
+    chunk = max(1, (len(pending) + workers * 4 - 1) // (workers * 4))
+    try:
+        with pool:
+            futures = [
+                pool.submit(_similarity_batch, pending[start:start + chunk])
+                for start in range(0, len(pending), chunk)
+            ]
+            return [value for future in futures for value in future.result()]
+    except BrokenProcessPool:
+        return None
+
+
+def _shape_bucket(length: int) -> int:
+    """Geometric bucket index of a message length (ratio ~1.3)."""
+    return int(_LOG(length) * 3.8124) if length > 1 else 0
+
+
+def _pair_values(pairs: Sequence[tuple[bytes, bytes]]) -> list[float]:
+    """Similarity of ordered content pairs, batching similar shapes.
+
+    When numpy is available, pairs are grouped into geometric ~1.3x buckets
+    of their two lengths — pairs in one group pad to at most ~1.3x their own
+    sizes in the batched vectorized DP, which bounds the padded waste while
+    merging the many near-identical shapes of a real trace.  Pairs with an
+    empty side, undersized groups, or numpy-less runs use the per-pair
+    engine.  Both produce the traceback identity exactly.
+    """
+    results = [0.0] * len(pairs)
+    groups: dict[tuple[int, int], list[int]] = {}
+    for position, (first, second) in enumerate(pairs):
+        if _np is not None and first and second:
+            key = (_shape_bucket(len(second)), _shape_bucket(len(first)))
+            groups.setdefault(key, []).append(position)
+        else:
+            results[position] = _cached_similarity(first, second)
+    for positions in groups.values():
+        if len(positions) < _BATCH_MIN_PAIRS:
+            for position in positions:
+                first, second = pairs[position]
+                results[position] = _cached_similarity(first, second)
+            continue
+        positions.sort(key=lambda position: (-len(pairs[position][1]),
+                                             -len(pairs[position][0])))
+        start = 0
+        while start < len(positions):
+            cells = len(pairs[positions[start]][1]) + 1
+            chunk = min(_BATCH_MAX_PAIRS, max(1, _BATCH_MAX_CELLS // cells))
+            part = positions[start:start + chunk]
+            firsts = [pairs[position][0] for position in part]
+            seconds = [pairs[position][1] for position in part]
+            for position, value in zip(part, _batched_identity(firsts, seconds)):
+                results[position] = value
+            start += len(part)
+    return results
+
+
+def pairwise_similarity(messages: Sequence[bytes], *, parallel: bool = False,
+                        max_workers: int | None = None) -> list[list[float]]:
+    """Symmetric similarity matrix of a list of messages.
+
+    Identical messages are deduplicated before any alignment runs, distinct
+    ordered content pairs are aligned exactly once (and memoized across
+    calls), and with ``parallel=True`` the remaining pairs of the upper
+    triangle are fanned over a fork-based process pool — falling back to
+    sequential execution when no pool is available.  All three mechanisms are
+    exact: the matrix is bit-identical to the naive pair-by-pair scan.
+    """
     count = len(messages)
     matrix = [[1.0] * count for _ in range(count)]
+    if count < 2:
+        return matrix
+    contents = [bytes(message) for message in messages]
+    first_seen: dict[bytes, int] = {}
+    unique: list[bytes] = []
+    uid = []
+    for content in contents:
+        index = first_seen.setdefault(content, len(unique))
+        if index == len(unique):
+            unique.append(content)
+        uid.append(index)
+
+    # Cells grouped by ordered unique pair; identical-content cells keep the
+    # 1.0 the matrix is initialized with (== similarity of equal messages).
+    pair_cells: dict[tuple[int, int], list[tuple[int, int]]] = {}
     for row in range(count):
+        uid_row = uid[row]
         for col in range(row + 1, count):
-            value = similarity(messages[row], messages[col])
+            uid_col = uid[col]
+            if uid_row == uid_col:
+                continue
+            pair_cells.setdefault((uid_row, uid_col), []).append((row, col))
+
+    values: dict[tuple[int, int], float] = {}
+    pending: list[tuple[int, int]] = []
+    for key in pair_cells:
+        cached = _PAIR_CACHE.get((unique[key[0]], unique[key[1]]))
+        if cached is None:
+            pending.append(key)
+        else:
+            values[key] = cached
+
+    computed: list[float] | None = None
+    if parallel and pending:
+        pairs = [(unique[a], unique[b]) for a, b in pending]
+        computed = _parallel_pair_values(pairs, max_workers)
+    if computed is None:
+        computed = _pair_values([(unique[a], unique[b]) for a, b in pending])
+    for (a, b), value in zip(pending, computed):
+        if len(_PAIR_CACHE) >= _PAIR_CACHE_LIMIT:
+            _PAIR_CACHE.clear()
+        _PAIR_CACHE[(unique[a], unique[b])] = value
+        values[(a, b)] = value
+
+    for key, cells in pair_cells.items():
+        value = values[key]
+        for row, col in cells:
             matrix[row][col] = value
             matrix[col][row] = value
     return matrix

@@ -5,10 +5,22 @@ message types before inferring each type's format.  The classifier below is a
 UPGMA-style average-linkage agglomerative clustering over the alignment-based
 similarity matrix, stopped at a similarity threshold — the classic approach of
 trace-based tools.
+
+The agglomeration pops merges from a lazy max-heap instead of rescanning
+every cluster pair per iteration (the naive rescan is O(N³) over the trace
+and dominated large traces).  A live pair's average linkage never changes
+between merges, so it is computed exactly once — when the younger of its two
+clusters is created — and with the *same flat left-to-right summation* the
+naive implementation uses, so every float compares bit-identically.  Merge
+selection (global best pair at or above the threshold, ties resolved in
+favor of the pair scanned last) also matches the naive implementation, so
+the resulting clusters are identical — unconditionally, not just up to
+rounding.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -36,40 +48,125 @@ class Clustering:
 
 
 def cluster_messages(messages: Sequence[bytes], *, threshold: float = 0.8,
-                     similarity_matrix: Sequence[Sequence[float]] | None = None) -> Clustering:
-    """Cluster messages whose average-linkage similarity exceeds ``threshold``."""
+                     similarity_matrix: Sequence[Sequence[float]] | None = None,
+                     parallel: bool = False,
+                     max_workers: int | None = None) -> Clustering:
+    """Cluster messages whose average-linkage similarity exceeds ``threshold``.
+
+    ``parallel``/``max_workers`` configure the similarity-matrix computation
+    when no precomputed ``similarity_matrix`` is supplied; the clustering
+    itself is deterministic and single-threaded.
+    """
     count = len(messages)
     if count == 0:
         return Clustering(clusters=())
     matrix = (
-        [list(row) for row in similarity_matrix]
+        similarity_matrix
         if similarity_matrix is not None
-        else pairwise_similarity(messages)
+        else pairwise_similarity(messages, parallel=parallel,
+                                 max_workers=max_workers)
     )
-    clusters: list[list[int]] = [[index] for index in range(count)]
 
-    def average_linkage(first: list[int], second: list[int]) -> float:
+    rows = [list(row) for row in matrix]
+
+    # Cluster state, keyed by a stable cluster id.  Merged clusters get a
+    # fresh id, so any heap entry naming a dead id is stale by construction
+    # and any entry naming two live ids carries the current pair similarity.
+    members: list[list[int]] = [[index] for index in range(count)]
+    sizes: list[int] = [1] * count
+    alive: list[bool] = [True] * count
+    #: scan position of every live cluster — the index it would have in the
+    #: naive implementation's cluster list, which drives its tie-break.
+    position: dict[int, int] = {index: index for index in range(count)}
+
+    def average_linkage(first: int, second: int) -> float:
+        """Average similarity between two clusters, naive summation order.
+
+        Iterates the earlier-position cluster's members first and folds into
+        a single accumulator, exactly like the per-iteration rescan, so the
+        float result — and every comparison made with it — is bit-identical.
+        Relative cluster order never changes after creation, so the value is
+        computed once per pair and stays valid for the pair's lifetime.
+        """
+        if position[first] > position[second]:
+            first, second = second, first
         total = 0.0
-        for a in first:
-            for b in second:
-                total += matrix[a][b]
-        return total / (len(first) * len(second))
+        inner = members[second]
+        for a in members[first]:
+            row = rows[a]
+            for b in inner:
+                total += row[b]
+        return total / (sizes[first] * sizes[second])
 
-    while len(clusters) > 1:
-        best_pair: tuple[int, int] | None = None
-        best_value = threshold
-        for i in range(len(clusters)):
-            for j in range(i + 1, len(clusters)):
-                value = average_linkage(clusters[i], clusters[j])
-                if value >= best_value:
-                    best_value = value
-                    best_pair = (i, j)
-        if best_pair is None:
-            break
-        i, j = best_pair
-        clusters[i] = clusters[i] + clusters[j]
-        del clusters[j]
-    return Clustering(clusters=tuple(tuple(sorted(cluster)) for cluster in clusters))
+    heap: list[tuple[float, int, int]] = []
+    for i in range(count):
+        row = rows[i]
+        for j in range(i + 1, count):
+            value = row[j]
+            if value >= threshold:
+                heap.append((-value, i, j))
+    heapq.heapify(heap)
+
+    def scan_key(first: int, second: int) -> tuple[int, int]:
+        """The (i, j) the naive scan would visit this pair at."""
+        pos_a, pos_b = position[first], position[second]
+        return (pos_a, pos_b) if pos_a < pos_b else (pos_b, pos_a)
+
+    while heap:
+        top = heap[0]
+        if not (alive[top[1]] and alive[top[2]]):
+            heapq.heappop(heap)
+            continue
+        heapq.heappop(heap)
+        # Gather every live pair tied at the best value: the naive scan keeps
+        # overwriting its best pair on `>=`, so the *last* tied pair in scan
+        # order wins.  Stale entries encountered here are simply dropped.
+        tied: list[tuple[float, int, int]] = []
+        while heap and heap[0][0] == top[0]:
+            entry = heapq.heappop(heap)
+            if alive[entry[1]] and alive[entry[2]]:
+                tied.append(entry)
+        first, second = top[1], top[2]
+        if tied:
+            chosen = -1
+            best_key = scan_key(first, second)
+            for index, entry in enumerate(tied):
+                key = scan_key(entry[1], entry[2])
+                if key > best_key:
+                    best_key = key
+                    chosen = index
+            if chosen >= 0:
+                tied.append((top[0], first, second))
+                first, second = tied[chosen][1], tied[chosen][2]
+                del tied[chosen]
+            for entry in tied:
+                heapq.heappush(heap, entry)
+
+        # Merge, keeping the earlier-position cluster's slot and member order
+        # (the naive implementation concatenates clusters[i] + clusters[j]).
+        if position[first] > position[second]:
+            first, second = second, first
+        merged = len(alive)
+        members.append(members[first] + members[second])
+        sizes.append(sizes[first] + sizes[second])
+        alive[first] = alive[second] = False
+        alive.append(True)
+        kept_position = position.pop(first)
+        dropped_position = position.pop(second)
+        for identifier, value in position.items():
+            if value > dropped_position:
+                position[identifier] = value - 1
+        survivors = list(position)
+        position[merged] = kept_position
+        for other in survivors:
+            value = average_linkage(other, merged)
+            if value >= threshold:
+                heapq.heappush(heap, (-value, other, merged))
+
+    ordered = sorted(position, key=position.get)
+    return Clustering(
+        clusters=tuple(tuple(sorted(members[identifier])) for identifier in ordered)
+    )
 
 
 def purity(clustering: Clustering, true_labels: Sequence[object]) -> float:

@@ -6,14 +6,21 @@ reference position as *constant* (same byte across the cluster) or *variable*,
 and cuts fields where the constant/variable state changes or where a
 well-known delimiter byte occurs — the classic heuristics the paper's
 Section II-C lists as the "fields delimitation" challenge.
+
+Each distinct non-reference message content is aligned against the reference
+exactly once; the alignment is shared between the constancy scan and the
+boundary projection (which used to realign the same pair), and messages whose
+content equals the reference reuse the reference segmentation directly.  Both
+shortcuts are exact: the inferred boundaries are identical to aligning every
+member from scratch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
-from .alignment import alignment_offsets, needleman_wunsch
+from .alignment import Alignment, alignment_offsets, needleman_wunsch
 
 #: Delimiter bytes commonly used by trace-based inference tools.
 KNOWN_DELIMITERS = (0x20, 0x0D, 0x0A, 0x00, 0x3A)
@@ -28,11 +35,16 @@ class InferredFields:
     per_message_boundaries: dict[int, frozenset[int]]
 
 
-def _constant_positions(reference: bytes, others: Sequence[bytes]) -> list[bool]:
+def _constant_positions(reference: bytes, others: Sequence[bytes],
+                        alignments: Mapping[bytes, Alignment] | None = None
+                        ) -> list[bool]:
     """For each reference offset, is the byte identical across all aligned messages?"""
     constant = [True] * len(reference)
     for other in others:
-        alignment = needleman_wunsch(reference, other)
+        alignment = (
+            alignments[other] if alignments is not None
+            else needleman_wunsch(reference, other)
+        )
         matched = [False] * len(reference)
         for (ref_offset, _), (byte_a, byte_b) in zip(
             alignment_offsets(alignment), zip(alignment.first, alignment.second)
@@ -59,9 +71,11 @@ def _segment(reference: bytes, constant: Sequence[bool]) -> list[int]:
 
 
 def _project_boundaries(reference: bytes, target: bytes,
-                        reference_boundaries: Sequence[int]) -> frozenset[int]:
+                        reference_boundaries: Sequence[int],
+                        alignment: Alignment | None = None) -> frozenset[int]:
     """Map reference boundary offsets onto a target message via alignment."""
-    alignment = needleman_wunsch(reference, target)
+    if alignment is None:
+        alignment = needleman_wunsch(reference, target)
     mapping: dict[int, int] = {}
     for ref_offset, target_offset in alignment_offsets(alignment):
         if ref_offset is not None and target_offset is not None:
@@ -86,20 +100,46 @@ def infer_fields(messages: Sequence[bytes], members: Sequence[int]) -> InferredF
                               per_message_boundaries={})
     reference_index = max(members, key=lambda index: len(messages[index]))
     reference = messages[reference_index]
-    others = [messages[index] for index in members if index != reference_index]
-    constant = _constant_positions(reference, others) if others else [True] * len(reference)
-    reference_boundaries = _segment(reference, constant)
-    per_message: dict[int, frozenset[int]] = {}
+
+    # One alignment per distinct non-reference content, in first-seen order.
+    alignments: dict[bytes, Alignment] = {}
+    distinct_others: list[bytes] = []
     for index in members:
         if index == reference_index:
-            per_message[index] = frozenset(
-                boundary for boundary in reference_boundaries
-                if 0 < boundary < len(reference)
+            continue
+        content = messages[index]
+        if content == reference or content in alignments:
+            continue
+        alignments[content] = needleman_wunsch(reference, content)
+        distinct_others.append(content)
+
+    # Members identical to the reference match it everywhere and duplicates
+    # repeat an already-seen constancy pattern, so distinct others suffice.
+    constant = (
+        _constant_positions(reference, distinct_others, alignments)
+        if distinct_others else [True] * len(reference)
+    )
+    reference_boundaries = _segment(reference, constant)
+    reference_set = frozenset(
+        boundary for boundary in reference_boundaries
+        if 0 < boundary < len(reference)
+    )
+    projections: dict[bytes, frozenset[int]] = {}
+    per_message: dict[int, frozenset[int]] = {}
+    for index in members:
+        content = messages[index]
+        if index == reference_index or content == reference:
+            # Projecting onto an identical message maps every offset to
+            # itself, which is exactly the reference segmentation.
+            per_message[index] = reference_set
+            continue
+        projected = projections.get(content)
+        if projected is None:
+            projected = _project_boundaries(
+                reference, content, reference_boundaries, alignments[content]
             )
-        else:
-            per_message[index] = _project_boundaries(
-                reference, messages[index], reference_boundaries
-            )
+            projections[content] = projected
+        per_message[index] = projected
     return InferredFields(
         reference_index=reference_index,
         reference_boundaries=tuple(reference_boundaries),

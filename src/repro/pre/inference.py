@@ -5,6 +5,12 @@ captured wire messages it classifies them (alignment similarity + clustering)
 and infers per-cluster field segmentations, reproducing the pipeline of
 Figure 1 of the paper (observation → preprocessing → classification → message
 format inference).
+
+The engine is built for large traces: the similarity matrix deduplicates
+identical messages, memoizes pair scores and can fan the upper triangle over
+a process pool (``parallel=True``), and the clustering pops merges from a
+heap instead of rescanning every cluster pair per iteration.  All of it is
+exact — results are identical to the naive quadratic pipeline, only faster.
 """
 
 from __future__ import annotations
@@ -38,17 +44,26 @@ class InferenceResult:
 
 
 class FormatInferencer:
-    """Trace-based message format inference engine."""
+    """Trace-based message format inference engine.
 
-    def __init__(self, *, similarity_threshold: float = 0.65):
+    ``parallel``/``max_workers`` fan the similarity matrix over a fork-based
+    process pool (bit-identical results, silent sequential fallback when no
+    pool can be started).
+    """
+
+    def __init__(self, *, similarity_threshold: float = 0.65,
+                 parallel: bool = False, max_workers: int | None = None):
         self.similarity_threshold = similarity_threshold
+        self.parallel = parallel
+        self.max_workers = max_workers
 
     def infer(self, messages: Sequence[bytes]) -> InferenceResult:
         """Classify ``messages`` and infer each class's field segmentation."""
         trace = tuple(bytes(message) for message in messages)
         if not trace:
             return InferenceResult(messages=(), clustering=Clustering(clusters=()), fields=())
-        matrix = pairwise_similarity(trace)
+        matrix = pairwise_similarity(trace, parallel=self.parallel,
+                                     max_workers=self.max_workers)
         clustering = cluster_messages(
             trace, threshold=self.similarity_threshold, similarity_matrix=matrix
         )
@@ -58,7 +73,12 @@ class FormatInferencer:
         return InferenceResult(messages=trace, clustering=clustering, fields=fields)
 
 
-def infer_formats(messages: Sequence[bytes], *, similarity_threshold: float = 0.65
+def infer_formats(messages: Sequence[bytes], *, similarity_threshold: float = 0.65,
+                  parallel: bool = False, max_workers: int | None = None
                   ) -> InferenceResult:
     """Module-level convenience wrapper around :class:`FormatInferencer`."""
-    return FormatInferencer(similarity_threshold=similarity_threshold).infer(messages)
+    return FormatInferencer(
+        similarity_threshold=similarity_threshold,
+        parallel=parallel,
+        max_workers=max_workers,
+    ).infer(messages)

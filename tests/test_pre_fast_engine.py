@@ -1,0 +1,355 @@
+"""Tests of the fast PRE engine: exactness, edge cases and determinism.
+
+The engine behind ``similarity``/``pairwise_similarity``/``cluster_messages``
+was rearchitected for large traces (banded and vectorized score-only
+alignment, dedup + memoization, heap-based Lance–Williams clustering).  Every
+shortcut claims to be *exact*; these tests hold it to that claim against
+naive reference implementations, including on randomized traces, and pin the
+traceback tie-break the fast paths must reproduce.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.experiments import run_resilience
+from repro.pre import (
+    banded_nw_score,
+    clear_similarity_cache,
+    cluster_messages,
+    infer_formats,
+    needleman_wunsch,
+    nw_score,
+    pairwise_similarity,
+    similarity,
+)
+from repro.pre import alignment as alignment_module
+from repro.protocols import modbus, registry
+
+
+# ---------------------------------------------------------------------------
+# naive reference implementations (the pre-rearchitecture semantics)
+# ---------------------------------------------------------------------------
+
+
+def naive_similarity(first: bytes, second: bytes) -> float:
+    if not first and not second:
+        return 1.0
+    return needleman_wunsch(first, second).identity()
+
+
+def naive_pairwise(messages) -> list[list[float]]:
+    count = len(messages)
+    matrix = [[1.0] * count for _ in range(count)]
+    for row in range(count):
+        for col in range(row + 1, count):
+            value = naive_similarity(messages[row], messages[col])
+            matrix[row][col] = value
+            matrix[col][row] = value
+    return matrix
+
+
+def naive_cluster(messages, *, threshold, similarity_matrix):
+    """The rescan agglomeration the heap implementation must reproduce."""
+    count = len(messages)
+    if count == 0:
+        return ()
+    matrix = [list(row) for row in similarity_matrix]
+    clusters = [[index] for index in range(count)]
+
+    def average_linkage(first, second):
+        total = 0.0
+        for a in first:
+            for b in second:
+                total += matrix[a][b]
+        return total / (len(first) * len(second))
+
+    while len(clusters) > 1:
+        best_pair = None
+        best_value = threshold
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                value = average_linkage(clusters[i], clusters[j])
+                if value >= best_value:
+                    best_value = value
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        clusters[i] = clusters[i] + clusters[j]
+        del clusters[j]
+    return tuple(tuple(sorted(cluster)) for cluster in clusters)
+
+
+def random_trace(rng: Random, count: int, *, alphabet: int = 6,
+                 max_length: int = 30, duplicate_rate: float = 0.3) -> list[bytes]:
+    trace: list[bytes] = []
+    for _ in range(count):
+        if trace and rng.random() < duplicate_rate:
+            trace.append(trace[rng.randrange(len(trace))])
+        else:
+            trace.append(bytes(rng.randrange(alphabet)
+                               for _ in range(rng.randrange(0, max_length))))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        result = infer_formats([])
+        assert result.messages == ()
+        assert result.cluster_count == 0
+        assert pairwise_similarity([]) == []
+        assert cluster_messages([]).count == 0
+
+    def test_single_message(self):
+        result = infer_formats([b"GET / HTTP/1.1"])
+        assert result.cluster_count == 1
+        assert result.clustering.clusters == ((0,),)
+        assert pairwise_similarity([b"x"]) == [[1.0]]
+
+    def test_all_identical_messages(self):
+        trace = [b"\x01\x02\x03\x04"] * 9
+        matrix = pairwise_similarity(trace)
+        assert all(value == 1.0 for row in matrix for value in row)
+        clustering = cluster_messages(trace, threshold=0.8)
+        assert clustering.clusters == (tuple(range(9)),)
+        result = infer_formats(trace)
+        assert result.cluster_count == 1
+
+    def test_empty_messages_in_trace(self):
+        trace = [b"", b"abc", b"", b"abc"]
+        matrix = pairwise_similarity(trace)
+        assert matrix[0][2] == 1.0
+        assert matrix[0][1] == 0.0
+        assert matrix[1][3] == 1.0
+        assert matrix == naive_pairwise(trace)
+
+
+# ---------------------------------------------------------------------------
+# traceback tie-break determinism
+# ---------------------------------------------------------------------------
+
+
+class TestTracebackTieBreak:
+    def test_diagonal_preferred_on_ties(self):
+        # Both optimal alignments of "aa" vs "a" score 0; the traceback
+        # resolves the tie from the end and pairs the *last* 'a' diagonally.
+        alignment = needleman_wunsch(b"aa", b"a")
+        assert alignment.first == (ord("a"), ord("a"))
+        assert alignment.second == (None, ord("a"))
+        assert alignment.score == 0
+        assert alignment.identity() == 0.5
+
+    def test_transposition_tie(self):
+        alignment = needleman_wunsch(b"ab", b"ba")
+        assert alignment.score == -2
+        assert alignment.identity() == 0.0
+
+    def test_similarity_is_order_sensitive_like_the_traceback(self):
+        # The traceback tie-break is not symmetric; the fast engine must
+        # reproduce the per-order values, not a symmetrized variant.
+        first, second = b"\x00\x03\x01\x01\x03\x00", b"\x01\x03\x00\x01"
+        assert similarity(first, second) == pytest.approx(1 / 3)
+        assert similarity(second, first) == pytest.approx(3 / 7)
+        assert similarity(first, second) == naive_similarity(first, second)
+        assert similarity(second, first) == naive_similarity(second, first)
+
+    def test_similarity_matches_traceback_identity_fuzz(self):
+        rng = Random(5)
+        for _ in range(300):
+            first = bytes(rng.randrange(5) for _ in range(rng.randrange(0, 16)))
+            second = bytes(rng.randrange(5) for _ in range(rng.randrange(0, 16)))
+            assert similarity(first, second) == naive_similarity(first, second)
+
+
+# ---------------------------------------------------------------------------
+# score-only engine
+# ---------------------------------------------------------------------------
+
+
+class TestScoreOnly:
+    def test_nw_score_matches_full_alignment(self):
+        rng = Random(6)
+        for _ in range(200):
+            first = bytes(rng.randrange(5) for _ in range(rng.randrange(0, 20)))
+            second = bytes(rng.randrange(5) for _ in range(rng.randrange(0, 20)))
+            assert nw_score(first, second) == needleman_wunsch(first, second).score
+
+    def test_banded_score_is_a_tight_lower_bound(self):
+        rng = Random(7)
+        for _ in range(100):
+            base = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 60)))
+            edited = bytearray(base)
+            for _ in range(rng.randrange(0, 4)):
+                edited[rng.randrange(len(edited))] = rng.randrange(256)
+            exact = nw_score(base, bytes(edited))
+            banded = banded_nw_score(base, bytes(edited))
+            assert banded <= exact
+            # Few point edits keep the optimal path inside the default band.
+            assert banded == exact
+
+    def test_similarity_fast_paths_skip_the_dp(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("DP must not run for identical/empty inputs")
+
+        monkeypatch.setattr(alignment_module, "_alignment_identity", explode)
+        assert similarity(b"same bytes", b"same bytes") == 1.0
+        assert similarity(b"", b"") == 1.0
+        assert similarity(b"", b"abc") == 0.0
+        assert similarity(b"abc", b"") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# similarity matrix: dedup, memoization, batching, parallelism
+# ---------------------------------------------------------------------------
+
+
+class TestPairwiseMatrix:
+    def test_matches_naive_on_randomized_traces(self):
+        rng = Random(8)
+        for _ in range(10):
+            trace = random_trace(rng, rng.randrange(0, 25))
+            clear_similarity_cache()
+            assert pairwise_similarity(trace) == naive_pairwise(trace)
+
+    def test_memoized_across_calls(self):
+        trace = [b"one message", b"another message", b"one message"]
+        clear_similarity_cache()
+        first = pairwise_similarity(trace)
+        # Second call is served from the memo; values must be unchanged.
+        assert pairwise_similarity(trace) == first == naive_pairwise(trace)
+
+    def test_pure_python_fallback_matches_batched(self, monkeypatch):
+        rng = Random(9)
+        trace = random_trace(rng, 20, duplicate_rate=0.1)
+        clear_similarity_cache()
+        batched = pairwise_similarity(trace)
+        monkeypatch.setattr(alignment_module, "_np", None)
+        clear_similarity_cache()
+        fallback = pairwise_similarity(trace)
+        assert batched == fallback
+
+    def test_parallel_matrix_bit_identical(self):
+        rng = Random(10)
+        trace = random_trace(rng, 24)
+        clear_similarity_cache()
+        sequential = pairwise_similarity(trace)
+        clear_similarity_cache()
+        parallel = pairwise_similarity(trace, parallel=True, max_workers=2)
+        assert parallel == sequential
+
+    def test_parallel_inference_bit_identical(self):
+        rng = Random(0)
+        codec_trace = [
+            bytes(rng.randrange(4) for _ in range(rng.randrange(4, 16)))
+            for _ in range(16)
+        ]
+        sequential = infer_formats(codec_trace)
+        parallel = infer_formats(codec_trace, parallel=True, max_workers=2)
+        assert sequential.clustering.clusters == parallel.clustering.clusters
+        for index in range(len(codec_trace)):
+            assert (sequential.boundaries_for(index)
+                    == parallel.boundaries_for(index))
+
+
+# ---------------------------------------------------------------------------
+# clustering equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestClusteringEquivalence:
+    def test_matches_naive_on_randomized_traces(self):
+        rng = Random(11)
+        for _ in range(15):
+            trace = random_trace(rng, rng.randrange(0, 28))
+            matrix = naive_pairwise(trace)
+            threshold = rng.choice([0.5, 0.65, 0.8, 1.0])
+            expected = naive_cluster(trace, threshold=threshold,
+                                     similarity_matrix=matrix)
+            got = cluster_messages(trace, threshold=threshold,
+                                   similarity_matrix=matrix)
+            assert got.clusters == expected
+
+    def test_matches_naive_with_deliberate_ties(self):
+        rng = Random(12)
+        values = [0.0, 0.25, 0.5, 2 / 3, 0.75, 0.8, 1.0]
+        for _ in range(40):
+            count = rng.randrange(2, 14)
+            matrix = [[1.0] * count for _ in range(count)]
+            for i in range(count):
+                for j in range(i + 1, count):
+                    matrix[i][j] = matrix[j][i] = rng.choice(values)
+            messages = [bytes([i]) for i in range(count)]
+            threshold = rng.choice([0.5, 2 / 3, 0.8, 1.0])
+            expected = naive_cluster(messages, threshold=threshold,
+                                     similarity_matrix=matrix)
+            got = cluster_messages(messages, threshold=threshold,
+                                   similarity_matrix=matrix)
+            assert got.clusters == expected
+
+    def test_threshold_edge_inclusive(self):
+        # A pair sitting exactly on the threshold must merge (`>=` semantics).
+        matrix = [[1.0, 0.8], [0.8, 1.0]]
+        clustering = cluster_messages([b"a", b"b"], threshold=0.8,
+                                      similarity_matrix=matrix)
+        assert clustering.clusters == ((0, 1),)
+
+
+# ---------------------------------------------------------------------------
+# generalized resilience experiment
+# ---------------------------------------------------------------------------
+
+
+class TestGeneralizedResilience:
+    def test_runs_for_every_registered_protocol(self):
+        for key in registry.available():
+            report = run_resilience(protocol=key, passes_levels=(1,), seed=0,
+                                    trace_size=8)
+            assert report.protocol == key
+            assert 0.0 <= report.plain.classification_purity <= 1.0
+            assert set(report.obfuscated) == {1}
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            run_resilience(protocol="ftp")
+
+    def test_graphs_built_once_per_call(self):
+        calls = {"request": 0, "response": 0}
+
+        def counting(direction, factory):
+            def build():
+                calls[direction] += 1
+                return factory()
+            return build
+
+        setup = registry.ProtocolSetup(
+            key="_resilience_probe",
+            label="probe",
+            graph_factory=counting("request", modbus.request_graph),
+            message_generator=modbus.random_request,
+            response_graph_factory=counting("response", modbus.response_graph),
+            response_generator=modbus.random_response,
+        )
+        registry.register(setup)
+        try:
+            run_resilience(protocol="_resilience_probe", passes_levels=(1, 2),
+                           seed=0, trace_size=4)
+        finally:
+            registry.unregister("_resilience_probe")
+        # One build per direction, shared by the plain capture and both
+        # obfuscation levels.
+        assert calls == {"request": 1, "response": 1}
+
+    def test_modbus_default_workload_still_degrades(self):
+        report = run_resilience(passes_levels=(1,), seed=0, repeats=2,
+                                function_codes=(1, 3))
+        assert report.protocol == "modbus"
+        assert report.plain.boundary_f1 > 0.0
+        assert 1 in report.obfuscated
