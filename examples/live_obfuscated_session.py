@@ -1,0 +1,118 @@
+"""Live obfuscated sessions end-to-end: transport, capture, then PRE.
+
+The paper's threat model in one script: an obfuscated server and several
+concurrent clients exchange real protocol traffic over the transport layer,
+a capture records both directions on the wire, and the trace-based reverse
+engineering engine is run against the capture — once for the plain protocol,
+once for the obfuscated deployment.  The recovered-boundary metrics collapse
+on the obfuscated capture, exactly as in the in-memory resilience study, but
+now measured on genuinely transported bytes.
+
+Run with:  python examples/live_obfuscated_session.py [protocol] [clients]
+(default: modbus, 4 clients)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from random import Random
+
+from repro.analysis import render_table
+from repro.net import Capture, ObfuscatedClient, ObfuscatedServer, connect_memory
+from repro.pre import infer_formats
+from repro.pre.evaluate import score_inference
+from repro.protocols import mqtt, registry
+from repro.transforms.engine import Obfuscator
+
+PASSES = 2  # obfuscating transformations per node on the obfuscated deployment
+REQUESTS_PER_CLIENT = 6
+
+
+def build_graphs(setup, passes: int, seed: int = 0):
+    """(request graph, response graph), obfuscated when ``passes`` > 0."""
+    request = setup.graph_factory()
+    response = (setup.response_graph_factory()
+                if setup.response_graph_factory is not None else request)
+    if passes:
+        request = Obfuscator(seed=seed).obfuscate(request, passes).graph
+        if response is not request:
+            response = Obfuscator(seed=seed + 1).obfuscate(response, passes).graph
+        else:
+            response = request
+    return request, response
+
+
+def client_message(setup, rng: Random):
+    """One request that elicits a reply (CONNECT has no modelled CONNACK)."""
+    if setup.key == "mqtt":
+        return mqtt.random_packet(rng, packet_type=rng.choice(
+            (mqtt.PUBLISH_QOS0, mqtt.PUBLISH_QOS1, mqtt.PINGREQ)))
+    return setup.message_generator(rng)
+
+
+async def run_sessions(setup, passes: int, clients: int) -> Capture:
+    """Drive ``clients`` concurrent sessions and capture both directions."""
+    request_graph, response_graph = build_graphs(setup, passes)
+    capture = Capture()
+    server = ObfuscatedServer(setup, request_graph=request_graph,
+                              response_graph=response_graph, capture=capture)
+
+    async def one_session(index: int) -> None:
+        client = connect_memory(
+            ObfuscatedClient(setup, request_graph=request_graph,
+                             response_graph=response_graph, capture=capture,
+                             session_id=f"client-{index}"),
+            server,
+        )
+        rng = Random(1000 + index)
+        for _ in range(REQUESTS_PER_CLIENT):
+            await client.request(client_message(setup, rng))
+        await client.close()
+
+    await asyncio.gather(*(one_session(index) for index in range(clients)))
+    assert all(stats.error is None for stats in server.completed)
+    return capture
+
+
+def analyse(capture: Capture):
+    """Run the PRE engine on the capture and score it against ground truth."""
+    result = infer_formats(capture)
+    return score_inference(result, capture.field_spans(), capture.types())
+
+
+def main() -> None:
+    protocol = sys.argv[1] if len(sys.argv) > 1 else "modbus"
+    clients = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    setup = registry.get(protocol)
+
+    rows = []
+    for label, passes in (("plain", 0), (f"{PASSES} obfuscations/node", PASSES)):
+        capture = asyncio.run(run_sessions(setup, passes, clients))
+        score = analyse(capture)
+        rows.append([
+            label,
+            f"{len(capture)} msgs / {capture.byte_count()} B",
+            f"{len(capture.sessions())}",
+            f"{score.boundary_f1:.3f}",
+            f"{score.boundary_recall:.3f}",
+            f"{score.classification_purity:.2f}",
+            f"{score.cluster_count} (true: {score.true_type_count})",
+        ])
+
+    print(render_table(
+        ["Deployment", "Captured traffic", "Sessions", "Boundary F1",
+         "Recall", "Purity", "Clusters"],
+        rows,
+        title=f"PRE against live {setup.label} captures "
+              f"({clients} concurrent sessions)",
+    ))
+    print()
+    print("Interpretation: the analyst sniffing the transport recovers most")
+    print("field boundaries of the plain deployment; on the obfuscated wire")
+    print("the same captured workload yields collapsed inference quality —")
+    print("the resilience result of the paper, on transported bytes.")
+
+
+if __name__ == "__main__":
+    main()

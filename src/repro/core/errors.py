@@ -56,6 +56,24 @@ class ParseError(ReproError):
         self.node = node
 
 
+class StreamError(ParseError):
+    """A byte *stream* could not be decoded into framed messages.
+
+    Raised by the incremental wire decoder on stream-level failures that have
+    no whole-message counterpart: an abrupt end of stream in the middle of a
+    message, or trailing bytes after the last complete message that do not
+    start a valid new one.  Subclasses :class:`ParseError` so existing
+    handlers of wire decoding failures keep working.
+    """
+
+    def __init__(self, message: str, offset: int | None = None,
+                 node: str | None = None, message_index: int | None = None):
+        if message_index is not None:
+            message = f"stream message #{message_index}: {message}"
+        super().__init__(message, offset=offset, node=node)
+        self.message_index = message_index
+
+
 class TransformError(ReproError):
     """A transformation failed while being applied to a format graph."""
 

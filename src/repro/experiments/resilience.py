@@ -104,25 +104,48 @@ def _capture(graphs: Mapping[str, FormatGraph],
     return trace, spans
 
 
-def run_resilience(*, protocol: str = "modbus",
+def run_resilience(*, protocol: str | None = None,
                    passes_levels: Sequence[int] = (1,), seed: int = 0,
                    function_codes: Sequence[int] = (1, 3, 6, 16), repeats: int = 2,
                    trace_size: int | None = None,
                    similarity_threshold: float = 0.65,
                    parallel: bool = False,
-                   max_workers: int | None = None) -> ResilienceReport:
+                   max_workers: int | None = None,
+                   capture: object | None = None) -> ResilienceReport:
     """Run the resilience experiment and score every obfuscation level.
 
     The defaults mirror the paper's setting: four different Modbus messages
     and their answers are captured; the analyst sees the raw trace only.
-    ``protocol`` selects any registered protocol instead; ``trace_size``
+    ``protocol`` selects any registered protocol instead (``None``, the
+    default, means Modbus — or the capture's own protocol); ``trace_size``
     switches to a registry-driven workload of that many captured messages
     (``function_codes``/``repeats`` only shape the default Modbus workload).
     ``parallel`` fans the similarity matrix of every inference over a process
     pool (bit-identical results).
+
+    ``capture`` feeds the experiment genuinely transported traffic: a
+    :class:`repro.net.Capture` recorded on the serializing side of a live
+    session.  Its wire bytes and ground-truth spans become the plain trace
+    exactly as captured, and its logical messages become the workload that
+    the obfuscation levels re-serialize — so a live plain capture reproduces
+    the in-memory experiment's scores when the workloads match.
     """
+    if capture is not None:
+        capture_protocol = getattr(capture, "protocol", None)
+        if capture_protocol is not None:
+            if protocol is not None and protocol != capture_protocol:
+                raise ValueError(
+                    f"capture records protocol {capture_protocol!r} but "
+                    f"protocol={protocol!r} was requested"
+                )
+            protocol = capture_protocol
+    if protocol is None:
+        protocol = "modbus"
     setup = registry.get(protocol)
-    if protocol == "modbus" and trace_size is None:
+    if capture is not None:
+        workload = capture.workload()
+        types = capture.types()
+    elif protocol == "modbus" and trace_size is None:
         workload, types = _workload(seed, function_codes, repeats)
     else:
         size = trace_size if trace_size is not None else 4 * len(function_codes)
@@ -136,16 +159,38 @@ def run_resilience(*, protocol: str = "modbus",
     base_graphs: dict[str, FormatGraph] = {
         direction: factory() for direction, factory, _ in setup.directions()
     }
+    if capture is not None and "response" not in base_graphs:
+        # Single-direction protocols (MQTT) answer over the same packet
+        # graph on a live session; mirror that here so both directions of
+        # the captured workload re-serialize under the obfuscation levels.
+        base_graphs["response"] = base_graphs["request"]
+    unknown = {direction for direction, _ in workload} - set(base_graphs)
+    if unknown:
+        raise ValueError(
+            f"workload directions {sorted(unknown)} are not modelled by "
+            f"protocol {protocol!r}"
+        )
 
-    plain_trace, plain_spans = _capture(base_graphs, workload, seed)
+    if capture is not None:
+        plain_trace, plain_spans = capture.messages(), capture.field_spans()
+    else:
+        plain_trace, plain_spans = _capture(base_graphs, workload, seed)
     plain_score = score_inference(inferencer.infer(plain_trace), plain_spans, types)
 
     obfuscated_scores: dict[int, InferenceScore] = {}
     for passes in passes_levels:
-        obfuscated = {
-            direction: Obfuscator(seed=seed + offset).obfuscate(graph, passes).graph
-            for offset, (direction, graph) in enumerate(base_graphs.items())
-        }
+        # Aliased directions (a single-direction protocol answering over its
+        # request graph) share one obfuscated graph, exactly like a live
+        # deployment serializing both directions over the same dialect.
+        obfuscated_by_identity: dict[int, FormatGraph] = {}
+        obfuscated = {}
+        for offset, (direction, graph) in enumerate(base_graphs.items()):
+            transformed = obfuscated_by_identity.get(id(graph))
+            if transformed is None:
+                transformed = Obfuscator(seed=seed + offset).obfuscate(
+                    graph, passes).graph
+                obfuscated_by_identity[id(graph)] = transformed
+            obfuscated[direction] = transformed
         trace, spans = _capture(obfuscated, workload, seed)
         obfuscated_scores[passes] = score_inference(inferencer.infer(trace), spans, types)
 

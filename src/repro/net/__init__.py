@@ -1,0 +1,60 @@
+"""Live transport layer: obfuscated protocol traffic over real byte streams.
+
+Everything below the experiments so far ran on in-memory byte lists; this
+package is the missing transport: framed streams, concurrent asyncio
+sessions, an obfuscation gateway and capture objects that feed live traffic
+straight into the PRE resilience study.
+
+* :mod:`repro.net.framing` — native back-to-back framing (incremental
+  streaming decoder) vs. length-prefixed records for stream-greedy graphs;
+* :mod:`repro.net.session` — :class:`ObfuscatedServer` /
+  :class:`ObfuscatedClient` speaking any registry protocol over TCP or the
+  in-process duplex transport, driving the protocols' responder hooks;
+* :mod:`repro.net.proxy` — :class:`ObfuscatedProxy`, the transparent
+  plain↔obfuscated gateway;
+* :mod:`repro.net.capture` — :class:`Capture` records of the wire traffic
+  (JSONL-portable, accepted by ``run_resilience`` and ``infer_formats``).
+
+The incremental wire decoding itself lives in :mod:`repro.wire.streaming`.
+"""
+
+from ..wire.streaming import (
+    DecodedMessage,
+    StreamingDecoder,
+    decode_stream,
+    is_self_framing,
+    stream_greedy_nodes,
+)
+from .capture import Capture, CaptureError, CaptureRecord
+from .framing import RecordDecoder, encode_record, resolve_framing
+from .proxy import ObfuscatedProxy, ProxyStats
+from .session import (
+    MemoryWriter,
+    ObfuscatedClient,
+    ObfuscatedServer,
+    SessionStats,
+    connect_memory,
+    memory_pipe,
+)
+
+__all__ = [
+    "Capture",
+    "CaptureError",
+    "CaptureRecord",
+    "DecodedMessage",
+    "MemoryWriter",
+    "ObfuscatedClient",
+    "ObfuscatedProxy",
+    "ObfuscatedServer",
+    "ProxyStats",
+    "RecordDecoder",
+    "SessionStats",
+    "StreamingDecoder",
+    "connect_memory",
+    "decode_stream",
+    "encode_record",
+    "is_self_framing",
+    "memory_pipe",
+    "resolve_framing",
+    "stream_greedy_nodes",
+]

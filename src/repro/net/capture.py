@@ -1,0 +1,282 @@
+"""Per-direction traffic captures: the bridge from live transport to PRE.
+
+A :class:`Capture` plays the role of the paper's network sniffer: it records
+the exact wire bytes exchanged between obfuscated endpoints, per direction and
+per session, with timestamps.  Because the capturing endpoints also *know* the
+ground truth — the logical message they serialized and the field spans the
+serializer emitted — a capture taken in-process doubles as a fully labelled
+trace: :func:`repro.experiments.run_resilience` and
+:func:`repro.pre.infer_formats` accept it directly, so the resilience study
+runs against genuinely transported traffic instead of a pre-built byte list.
+
+Captures export to and import from JSONL (one record per line, payload
+hex-encoded), so traces recorded on one machine can be analysed on another.
+An *attacker-view* export (``redact=True``) drops the ground-truth fields and
+keeps only what a sniffer would see: session, direction, timestamp, bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..core.errors import ReproError
+from ..core.fieldpath import FieldPath
+from ..core.message import Message
+from ..wire.spans import FieldSpan
+
+
+class CaptureError(ReproError):
+    """A capture could not be recorded, exported or re-imported."""
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured wire message.
+
+    ``data`` is exactly the serialized message as it crossed the transport
+    (record-framing envelopes excluded — the capture stores protocol bytes,
+    which is what the PRE substrate consumes).  ``spans`` and ``logical`` are
+    the serializing endpoint's ground truth; they are ``None`` on records
+    captured from the receiving side only (sniffer view).
+    """
+
+    #: position in the capture's append order (stable across export/import).
+    seq: int
+    #: identifier of the transport session the message belongs to.
+    session: str
+    #: protocol direction: ``"request"`` (client→server) or ``"response"``.
+    direction: str
+    #: capture timestamp (``time.time()``).
+    timestamp: float
+    #: the wire bytes of the message.
+    data: bytes
+    #: ground-truth wire field spans (serializing side only).
+    spans: tuple[FieldSpan, ...] | None = None
+    #: ground-truth logical message content (serializing side only).
+    logical: Message | None = None
+
+    def has_truth(self) -> bool:
+        """True when the record carries serializer-side ground truth."""
+        return self.spans is not None and self.logical is not None
+
+
+class Capture:
+    """An append-only log of wire messages crossing a transport.
+
+    One :class:`Capture` may be shared by several endpoints (server, many
+    clients, a proxy leg): records interleave in capture order and carry
+    their session identifier.  All consumption helpers preserve that order.
+    """
+
+    def __init__(self, *, protocol: str | None = None):
+        #: registry key of the captured protocol, when known (used by
+        #: ``run_resilience(capture=...)`` to default its ``protocol``).
+        self.protocol = protocol
+        self._records: list[CaptureRecord] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, *, session: str, direction: str, data: bytes,
+               spans: Iterable[FieldSpan] | None = None,
+               logical: Message | None = None,
+               timestamp: float | None = None) -> CaptureRecord:
+        """Append one wire message to the capture."""
+        entry = CaptureRecord(
+            seq=len(self._records),
+            session=session,
+            direction=direction,
+            timestamp=time.time() if timestamp is None else timestamp,
+            data=bytes(data),
+            spans=None if spans is None else tuple(spans),
+            logical=logical,
+        )
+        self._records.append(entry)
+        return entry
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CaptureRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> CaptureRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> tuple[CaptureRecord, ...]:
+        return tuple(self._records)
+
+    def sessions(self) -> tuple[str, ...]:
+        """Distinct session identifiers, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.session, None)
+        return tuple(seen)
+
+    def filter(self, *, session: str | None = None,
+               direction: str | None = None) -> "Capture":
+        """A new capture holding the matching records (same order, same seq)."""
+        selected = Capture(protocol=self.protocol)
+        for record in self._records:
+            if session is not None and record.session != session:
+                continue
+            if direction is not None and record.direction != direction:
+                continue
+            selected._records.append(record)
+        return selected
+
+    def byte_count(self) -> int:
+        """Total captured payload bytes."""
+        return sum(len(record.data) for record in self._records)
+
+    # -- PRE-facing views ------------------------------------------------------
+
+    def messages(self) -> list[bytes]:
+        """The captured wire messages, in capture order (the PRE trace)."""
+        return [record.data for record in self._records]
+
+    def types(self) -> list[object]:
+        """True message type of every record (its protocol direction)."""
+        return [record.direction for record in self._records]
+
+    def field_spans(self) -> list[list[FieldSpan]]:
+        """Ground-truth spans of every record (requires serializer-side truth)."""
+        spans: list[list[FieldSpan]] = []
+        for record in self._records:
+            if record.spans is None:
+                raise CaptureError(
+                    f"record #{record.seq} ({record.session}/{record.direction}) "
+                    f"carries no ground-truth spans; capture on the serializing "
+                    f"side (record_spans=True) to score inference against it"
+                )
+            spans.append(list(record.spans))
+        return spans
+
+    def workload(self) -> list[tuple[str, Message]]:
+        """``(direction, logical message)`` pairs, in capture order.
+
+        This is the exact shape of the in-memory workloads used by the
+        resilience experiment, which re-serializes it under obfuscated graphs.
+        """
+        workload: list[tuple[str, Message]] = []
+        for record in self._records:
+            if record.logical is None:
+                raise CaptureError(
+                    f"record #{record.seq} ({record.session}/{record.direction}) "
+                    f"carries no logical message; capture on the serializing side "
+                    f"to replay the workload"
+                )
+            workload.append((record.direction, record.logical))
+        return workload
+
+    # -- JSONL export / import -------------------------------------------------
+
+    def to_jsonl(self, path, *, redact: bool = False) -> int:
+        """Write the capture to ``path`` (one JSON record per line).
+
+        ``redact=True`` drops the ground-truth fields (spans, logical
+        content), leaving only what an on-path attacker observes.  Returns
+        the number of records written.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(self._encode(record, redact=redact),
+                                        separators=(",", ":")))
+                handle.write("\n")
+        return len(self._records)
+
+    @classmethod
+    def from_jsonl(cls, path, *, protocol: str | None = None) -> "Capture":
+        """Load a capture previously written by :meth:`to_jsonl`."""
+        capture = cls(protocol=protocol)
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    record = cls._decode(payload, seq=len(capture._records))
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise CaptureError(
+                        f"{path}: line {line_number}: malformed capture record "
+                        f"({exc})"
+                    ) from exc
+                if capture.protocol is None:
+                    capture.protocol = payload.get("protocol")
+                capture._records.append(record)
+        return capture
+
+    def _encode(self, record: CaptureRecord, *, redact: bool) -> dict:
+        payload: dict = {
+            "session": record.session,
+            "direction": record.direction,
+            "timestamp": round(record.timestamp, 6),
+            "data": record.data.hex(),
+        }
+        if self.protocol is not None:
+            payload["protocol"] = self.protocol
+        if not redact:
+            if record.spans is not None:
+                payload["spans"] = [
+                    {
+                        "node": span.node,
+                        "origin": None if span.origin is None else str(span.origin),
+                        "start": span.start,
+                        "end": span.end,
+                    }
+                    for span in record.spans
+                ]
+            if record.logical is not None:
+                payload["logical"] = _jsonable(record.logical.to_dict())
+        return payload
+
+    @staticmethod
+    def _decode(payload: dict, *, seq: int) -> CaptureRecord:
+        spans = payload.get("spans")
+        logical = payload.get("logical")
+        return CaptureRecord(
+            seq=seq,
+            session=str(payload["session"]),
+            direction=str(payload["direction"]),
+            timestamp=float(payload["timestamp"]),
+            data=bytes.fromhex(payload["data"]),
+            spans=None if spans is None else tuple(
+                FieldSpan(
+                    node=entry["node"],
+                    origin=(None if entry["origin"] is None
+                            else FieldPath.parse(entry["origin"])),
+                    start=int(entry["start"]),
+                    end=int(entry["end"]),
+                )
+                for entry in spans
+            ),
+            logical=None if logical is None else Message(_unjsonable(logical)),
+        )
+
+
+def _jsonable(value):
+    """Deep-map bytes leaves to JSON-safe tagged strings."""
+    if isinstance(value, dict):
+        return {key: _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, list):
+        return [_jsonable(entry) for entry in value]
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    return value
+
+
+def _unjsonable(value):
+    """Inverse of :func:`_jsonable`."""
+    if isinstance(value, dict):
+        if set(value) == {"__bytes__"}:
+            return bytes.fromhex(value["__bytes__"])
+        return {key: _unjsonable(entry) for key, entry in value.items()}
+    if isinstance(value, list):
+        return [_unjsonable(entry) for entry in value]
+    return value

@@ -1,0 +1,179 @@
+"""Message framing policies of the live transport layer.
+
+Two framings move protocol messages across a byte stream:
+
+* **native** — messages ride back-to-back with no envelope; the receiver
+  frames them with the incremental :class:`~repro.wire.streaming.StreamingDecoder`.
+  Requires the format graph to be *self-framing*
+  (:func:`~repro.wire.streaming.is_self_framing`): its parse must never
+  consult the end of the stream.
+* **record** — each message is wrapped in a 4-byte big-endian length-prefixed
+  record (the TLS-record / websocket-frame construction).  Works for every
+  graph, including stream-greedy ones like HTTP with its END-bounded body.
+
+``"auto"`` picks native when the graph allows it and record otherwise, which
+is what the session layer defaults to.  The capture layer always records the
+*payload* bytes — the protocol message exactly as the PRE substrate expects
+it — never the record envelope.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ParseError, StreamError
+from ..core.graph import FormatGraph
+from ..wire.plan import CodecPlan, plan_for
+from ..wire.streaming import DecodedMessage, StreamingDecoder, is_self_framing
+
+#: Width of the record-framing length prefix (bytes, big-endian).
+RECORD_HEADER = 4
+
+#: Upper bound on one record's payload; guards against desynchronized or
+#: hostile peers allocating unbounded buffers.
+MAX_RECORD_SIZE = 1 << 24
+
+FRAMINGS = ("auto", "native", "record")
+
+
+def resolve_framing(graph: FormatGraph, mode: str = "auto") -> str:
+    """Resolve a framing mode for ``graph`` (``"native"`` or ``"record"``)."""
+    if mode not in FRAMINGS:
+        raise ValueError(f"unknown framing {mode!r}; expected one of {FRAMINGS}")
+    if mode == "auto":
+        return "native" if is_self_framing(graph) else "record"
+    if mode == "native" and not is_self_framing(graph):
+        raise StreamError(
+            f"graph {graph.name!r} is not self-framing (greedy nodes consult "
+            f"the stream end); use record framing"
+        )
+    return mode
+
+
+def encode_record(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a length-prefixed record."""
+    if len(payload) >= MAX_RECORD_SIZE:
+        raise StreamError(
+            f"record payload of {len(payload)} bytes exceeds the "
+            f"{MAX_RECORD_SIZE}-byte limit"
+        )
+    return len(payload).to_bytes(RECORD_HEADER, "big") + payload
+
+
+class RecordDecoder:
+    """Incremental decoder of length-prefixed records carrying wire messages.
+
+    The record-framing counterpart of
+    :class:`~repro.wire.streaming.StreamingDecoder`, with the same
+    ``feed()`` / ``feed_eof()`` surface: each completed record's payload is
+    parsed as one whole message (strict), and the reported stream offsets
+    are *payload* offsets so captures and decoders agree on extents.
+    """
+
+    def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None):
+        from ..wire.parser import Parser  # local: keeps module import light
+
+        self.graph = graph
+        self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
+        self._buffer = bytearray()
+        self._eof = False
+        self._decoded = 0
+        self._payload_offset = 0
+        self._failed: StreamError | None = None
+
+    @property
+    def needs_more(self) -> bool:
+        return len(self._buffer) > 0
+
+    @property
+    def decoded_count(self) -> int:
+        return self._decoded
+
+    def feed(self, data: bytes) -> list[DecodedMessage]:
+        self._check_failed()
+        if self._eof:
+            raise StreamError("cannot feed bytes after end-of-stream")
+        self._buffer += data
+        return self._drain()
+
+    def feed_eof(self) -> list[DecodedMessage]:
+        self._check_failed()
+        self._eof = True
+        completed = self._drain()
+        if self._buffer:
+            raise self._fail(StreamError(
+                f"stream ended inside a record ({len(self._buffer)} byte(s) "
+                f"buffered)", message_index=self._decoded,
+            ))
+        return completed
+
+    def _drain(self) -> list[DecodedMessage]:
+        completed: list[DecodedMessage] = []
+        while True:
+            if len(self._buffer) < RECORD_HEADER:
+                break
+            size = int.from_bytes(self._buffer[:RECORD_HEADER], "big")
+            if size >= MAX_RECORD_SIZE:
+                raise self._fail(StreamError(
+                    f"record of {size} bytes exceeds the {MAX_RECORD_SIZE}-byte "
+                    f"limit (stream desynchronized?)", message_index=self._decoded,
+                ))
+            if len(self._buffer) < RECORD_HEADER + size:
+                break
+            payload = bytes(self._buffer[RECORD_HEADER : RECORD_HEADER + size])
+            del self._buffer[: RECORD_HEADER + size]
+            try:
+                message = self._parser.parse(payload, strict=True)
+            except ParseError as exc:
+                wrapped = StreamError(
+                    f"undecodable record payload: {exc}",
+                    message_index=self._decoded,
+                )
+                wrapped.offset, wrapped.node = exc.offset, exc.node
+                raise self._fail(wrapped) from exc
+            start = self._payload_offset
+            self._payload_offset += size
+            completed.append(DecodedMessage(
+                message=message, raw=payload, start=start, end=self._payload_offset,
+            ))
+            self._decoded += 1
+        return completed
+
+    def _fail(self, error: StreamError) -> StreamError:
+        self._failed = error
+        return error
+
+    def _check_failed(self) -> None:
+        if self._failed is not None:
+            raise StreamError(
+                f"decoder already failed: {self._failed}"
+            ) from self._failed
+
+
+def make_decoder(graph: FormatGraph, framing: str, *,
+                 plan: CodecPlan | None = None):
+    """Instantiate the incremental decoder matching a resolved framing."""
+    if framing == "native":
+        return StreamingDecoder(graph, plan=plan)
+    if framing == "record":
+        return RecordDecoder(graph, plan=plan)
+    raise ValueError(f"unresolved framing {framing!r}")
+
+
+def frame_payload(payload: bytes, framing: str) -> bytes:
+    """Wire bytes actually written for one message payload."""
+    if framing == "native":
+        return payload
+    if framing == "record":
+        return encode_record(payload)
+    raise ValueError(f"unresolved framing {framing!r}")
+
+
+__all__ = [
+    "FRAMINGS",
+    "MAX_RECORD_SIZE",
+    "RECORD_HEADER",
+    "RecordDecoder",
+    "encode_record",
+    "frame_payload",
+    "make_decoder",
+    "resolve_framing",
+]

@@ -1,0 +1,220 @@
+"""Transparent obfuscation gateway between two format-graph pairs.
+
+An :class:`ObfuscatedProxy` terminates sessions speaking one wire format and
+re-speaks them upstream in another — typically *plain* on the listen side and
+*obfuscated* on the upstream side (or the reverse, as a de-obfuscating edge).
+Because every wire format of a protocol decodes to the same logical
+:class:`~repro.core.message.Message`, bridging is parse → re-serialize per
+direction; no per-protocol code is involved.
+
+This is the deployment story of the paper's framework: unmodified core
+applications keep speaking the plain protocol while the obfuscated dialect —
+a different randomly drawn graph per deployment — runs only between the two
+gateways an observer can sniff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from random import Random
+
+from ..core.graph import FormatGraph
+from ..protocols import registry
+from ..wire.plan import plan_for
+from ..wire.serializer import Serializer
+from .capture import Capture
+from .framing import frame_payload, make_decoder, resolve_framing
+from .session import _MessagePump, half_close
+
+
+@dataclass
+class ProxyStats:
+    """Per-session bridging accounting (message counts per direction)."""
+
+    session: str
+    requests: int = 0
+    responses: int = 0
+    error: str | None = None
+
+
+class _Leg:
+    """One side of the bridge: graphs, framings and codecs of a graph pair."""
+
+    def __init__(self, request_graph: FormatGraph, response_graph: FormatGraph,
+                 framing: str, seed: int):
+        self.request_graph = request_graph
+        self.response_graph = response_graph
+        self.request_plan = plan_for(request_graph)
+        self.response_plan = plan_for(response_graph)
+        self.request_framing = resolve_framing(request_graph, framing)
+        self.response_framing = resolve_framing(response_graph, framing)
+        self.request_serializer = Serializer(request_graph, rng=Random(seed),
+                                             plan=self.request_plan)
+        self.response_serializer = Serializer(response_graph, rng=Random(seed),
+                                              plan=self.response_plan)
+
+
+class ObfuscatedProxy:
+    """Bridges sessions between a *listen* and an *upstream* wire format.
+
+    ``listen_*``/``upstream_*`` graphs default to the protocol's plain
+    specification; pass obfuscated graphs on one side to build the gateway.
+    An attached :class:`~repro.net.capture.Capture` records the traffic the
+    proxy serializes on the upstream leg (the obfuscated segment an on-path
+    observer sees), with full ground truth since the proxy re-serialized it.
+    """
+
+    def __init__(self, protocol: "str | registry.ProtocolSetup", *,
+                 listen_request_graph: FormatGraph | None = None,
+                 listen_response_graph: FormatGraph | None = None,
+                 upstream_request_graph: FormatGraph | None = None,
+                 upstream_response_graph: FormatGraph | None = None,
+                 framing: str = "auto",
+                 seed: int = 0,
+                 capture: Capture | None = None,
+                 record_spans: bool | None = None):
+        self.setup = (registry.get(protocol) if isinstance(protocol, str)
+                      else protocol)
+        plain_request = self.setup.reference_graph("request")
+        plain_response = (self.setup.reference_graph("response")
+                          if self.setup.response_graph_factory is not None
+                          else plain_request)
+        self.listen = _Leg(
+            listen_request_graph if listen_request_graph is not None else plain_request,
+            listen_response_graph if listen_response_graph is not None else plain_response,
+            framing, seed,
+        )
+        self.upstream = _Leg(
+            upstream_request_graph if upstream_request_graph is not None else plain_request,
+            upstream_response_graph if upstream_response_graph is not None else plain_response,
+            framing, seed,
+        )
+        self.capture = capture
+        self.record_spans = (capture is not None if record_spans is None
+                             else record_spans)
+        if self.capture is not None and self.capture.protocol is None:
+            self.capture.protocol = self.setup.key
+        self._session_ids = itertools.count(1)
+        self.completed: list[ProxyStats] = []
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self._upstream_factory = None
+
+    # -- bridging --------------------------------------------------------------
+
+    async def bridge(self, client_reader, client_writer,
+                     upstream_reader, upstream_writer, *,
+                     session_id: str | None = None) -> ProxyStats:
+        """Pump both directions of one session until both sides hit EOF."""
+        session = (session_id if session_id is not None
+                   else f"proxy-{next(self._session_ids)}")
+        stats = ProxyStats(session)
+
+        async def pump_requests():
+            pump = _MessagePump(
+                client_reader,
+                make_decoder(self.listen.request_graph,
+                             self.listen.request_framing,
+                             plan=self.listen.request_plan),
+            )
+            try:
+                while True:
+                    decoded = await pump.next()
+                    if decoded is None:
+                        break
+                    payload, spans = self._encode_upstream(decoded.message)
+                    self._capture(session, "request", payload, decoded.message,
+                                  spans)
+                    upstream_writer.write(
+                        frame_payload(payload, self.upstream.request_framing))
+                    await upstream_writer.drain()
+                    stats.requests += 1
+            finally:
+                half_close(upstream_writer)
+
+        async def pump_responses():
+            pump = _MessagePump(
+                upstream_reader,
+                make_decoder(self.upstream.response_graph,
+                             self.upstream.response_framing,
+                             plan=self.upstream.response_plan),
+            )
+            try:
+                while True:
+                    decoded = await pump.next()
+                    if decoded is None:
+                        break
+                    payload = self.listen.response_serializer.serialize(decoded.message)
+                    client_writer.write(
+                        frame_payload(payload, self.listen.response_framing))
+                    await client_writer.drain()
+                    stats.responses += 1
+            finally:
+                half_close(client_writer)
+
+        pumps = (asyncio.ensure_future(pump_requests()),
+                 asyncio.ensure_future(pump_responses()))
+        try:
+            await asyncio.gather(*pumps)
+        except BaseException as exc:
+            # One direction failed: reel in the sibling pump so it cannot
+            # keep mutating stats (or log unretrieved exceptions) after the
+            # session was recorded as completed.
+            for pump in pumps:
+                pump.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+            if isinstance(exc, Exception):
+                stats.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self.completed.append(stats)
+        return stats
+
+    def _encode_upstream(self, message) -> tuple[bytes, "list | None"]:
+        """Serialize one bridged request (with spans when the capture wants them)."""
+        if self.capture is not None and self.record_spans:
+            return self.upstream.request_serializer.serialize_with_spans(message)
+        return self.upstream.request_serializer.serialize(message), None
+
+    def _capture(self, session, direction, payload, message, spans=None) -> None:
+        if self.capture is not None:
+            self.capture.record(session=session, direction=direction,
+                                data=payload, spans=spans, logical=message)
+
+    # -- TCP front-end ---------------------------------------------------------
+
+    async def start_tcp(self, upstream_host: str, upstream_port: int,
+                        host: str = "127.0.0.1", port: int = 0
+                        ) -> tuple[str, int]:
+        """Listen on ``host:port``, bridging every session to ``upstream``."""
+
+        async def handle(reader, writer):
+            try:
+                up_reader, up_writer = await asyncio.open_connection(
+                    upstream_host, upstream_port)
+            except OSError:
+                writer.close()
+                return
+            try:
+                await self.bridge(reader, writer, up_reader, up_writer)
+            except Exception:
+                pass
+            finally:
+                for stream_writer in (writer, up_writer):
+                    try:
+                        stream_writer.close()
+                    except Exception:  # pragma: no cover
+                        pass
+
+        self._tcp_server = await asyncio.start_server(handle, host, port)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+
+

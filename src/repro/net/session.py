@@ -1,0 +1,479 @@
+"""Asyncio obfuscated sessions: servers and clients speaking registry protocols.
+
+This is the live counterpart of the in-memory experiment harness: an
+:class:`ObfuscatedServer` accepts byte streams (real TCP sockets or the
+in-process duplex transport), frames them with the incremental wire decoder,
+drives the protocol's core-application *responder* hook for every decoded
+request and streams the serialized responses back — concurrently across
+hundreds of sessions, since every session is a coroutine over shared,
+plan-compiled codecs.
+
+Framing follows :mod:`repro.net.framing`: self-framing graphs ride natively
+back-to-back; stream-greedy graphs (HTTP's END-bounded body) are wrapped in
+length-prefixed records.  Both endpoints resolve the mode from the graph, so
+they always agree.
+
+Endpoints optionally record the traffic they *serialize* into a shared
+:class:`~repro.net.capture.Capture` — wire bytes plus the serializer's
+ground-truth field spans and the logical message — which is what turns a live
+run into a fully labelled PRE trace.  ``capture_received=True`` additionally
+records inbound messages raw-only (the sniffer view) for endpoints whose peer
+is out of process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from random import Random
+
+from ..core.graph import FormatGraph
+from ..core.message import Message
+from ..protocols import registry
+from ..wire.plan import plan_for
+from ..wire.serializer import Serializer
+from ..wire.streaming import DecodedMessage
+from .capture import Capture
+from .framing import frame_payload, make_decoder, resolve_framing
+
+#: Read granularity of the session pumps.
+CHUNK_SIZE = 1 << 16
+
+#: The session-driver hook signature (canonical definition lives on the
+#: registry, next to ``ProtocolSetup.responder``).
+Responder = registry.Responder
+
+
+# ---------------------------------------------------------------------------
+# the in-process duplex transport
+# ---------------------------------------------------------------------------
+
+
+class MemoryWriter:
+    """Write end of an in-process duplex stream (asyncio-writer shaped).
+
+    Feeds a peer :class:`asyncio.StreamReader` directly, so sessions run over
+    it exactly as over a socket — same ``write``/``drain``/``close`` surface —
+    without file descriptors.  This is what lets the benchmark drive hundreds
+    of concurrent sessions without touching ulimits.
+    """
+
+    def __init__(self, peer: asyncio.StreamReader):
+        self._peer = peer
+        self._closed = False
+        self._eof_sent = False
+
+    def write(self, data: bytes) -> None:
+        if self._closed or self._eof_sent:
+            # Mirror asyncio's StreamWriter, which raises cleanly instead of
+            # tripping StreamReader's feed-after-eof assertion.
+            raise ConnectionResetError("memory stream is closed")
+        if data:
+            self._peer.feed_data(data)
+
+    def write_eof(self) -> None:
+        if not self._eof_sent:
+            self._eof_sent = True
+            self._peer.feed_eof()
+
+    async def drain(self) -> None:
+        # Yield to the event loop so readers scheduled by feed_data run.
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.write_eof()
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        return None
+
+    def get_extra_info(self, name: str, default=None):
+        if name == "peername":
+            return ("memory", 0)
+        return default
+
+
+def memory_pipe() -> tuple[
+    tuple[asyncio.StreamReader, MemoryWriter],
+    tuple[asyncio.StreamReader, MemoryWriter],
+]:
+    """Two connected ``(reader, writer)`` endpoints over in-process buffers."""
+    side_a = asyncio.StreamReader()
+    side_b = asyncio.StreamReader()
+    return (side_a, MemoryWriter(side_b)), (side_b, MemoryWriter(side_a))
+
+
+def half_close(writer) -> None:
+    """Signal EOF on any writer, tolerating transports without half-close."""
+    try:
+        if hasattr(writer, "can_write_eof") and not writer.can_write_eof():
+            writer.close()
+        else:
+            writer.write_eof()
+    except (OSError, RuntimeError):  # pragma: no cover - transport torn down
+        pass
+
+
+# ---------------------------------------------------------------------------
+# shared endpoint plumbing
+# ---------------------------------------------------------------------------
+
+
+class _MessagePump:
+    """Pulls chunks off a stream reader through an incremental decoder."""
+
+    def __init__(self, reader: asyncio.StreamReader, decoder):
+        self._reader = reader
+        self._decoder = decoder
+        self._pending: list[DecodedMessage] = []
+        self._eof = False
+
+    async def next(self) -> DecodedMessage | None:
+        """The next framed message, or ``None`` at a clean end of stream."""
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            if self._eof:
+                return None
+            chunk = await self._reader.read(CHUNK_SIZE)
+            if not chunk:
+                self._pending.extend(self._decoder.feed_eof())
+                self._eof = True
+                continue
+            self._pending.extend(self._decoder.feed(chunk))
+
+
+class _Endpoint:
+    """Graphs, framings, codecs and capture policy shared by one endpoint."""
+
+    def __init__(self, protocol: "str | registry.ProtocolSetup", *,
+                 request_graph: FormatGraph | None = None,
+                 response_graph: FormatGraph | None = None,
+                 framing: str = "auto",
+                 seed: int = 0,
+                 capture: Capture | None = None,
+                 record_spans: bool | None = None,
+                 capture_received: bool = False):
+        self.setup = (registry.get(protocol) if isinstance(protocol, str)
+                      else protocol)
+        # Defaults come from the setup's shared reference graphs, so every
+        # endpoint of a protocol executes against the same cached CodecPlans
+        # instead of compiling fresh ones per client.
+        self.request_graph = (request_graph if request_graph is not None
+                              else self.setup.reference_graph("request"))
+        if response_graph is not None:
+            self.response_graph = response_graph
+        elif self.setup.response_graph_factory is not None:
+            self.response_graph = self.setup.reference_graph("response")
+        else:
+            # Protocols modelling a single direction (MQTT) reply over the
+            # same packet graph — a broker speaks the same format back.
+            self.response_graph = self.request_graph
+        self.request_plan = plan_for(self.request_graph)
+        self.response_plan = plan_for(self.response_graph)
+        self.request_framing = resolve_framing(self.request_graph, framing)
+        self.response_framing = resolve_framing(self.response_graph, framing)
+        self.seed = seed
+        self.capture = capture
+        self.capture_received = capture_received
+        self.record_spans = (capture is not None if record_spans is None
+                             else record_spans)
+        if self.capture is not None and self.capture.protocol is None:
+            self.capture.protocol = self.setup.key
+
+    def serializer(self, direction: str) -> Serializer:
+        """A fresh serializer of one direction, seeded deterministically."""
+        if direction == "request":
+            return Serializer(self.request_graph, rng=Random(self.seed),
+                              plan=self.request_plan)
+        return Serializer(self.response_graph, rng=Random(self.seed),
+                          plan=self.response_plan)
+
+    def encode(self, serializer: Serializer, message: Message):
+        """Serialize one message, returning ``(payload, spans-or-None)``."""
+        if self.record_spans:
+            return serializer.serialize_with_spans(message)
+        return serializer.serialize(message), None
+
+    def capture_sent(self, session: str, direction: str, payload: bytes,
+                     spans, message: Message) -> None:
+        if self.capture is not None:
+            self.capture.record(session=session, direction=direction,
+                                data=payload, spans=spans, logical=message)
+
+    def capture_inbound(self, session: str, direction: str,
+                        decoded: DecodedMessage) -> None:
+        if self.capture is not None and self.capture_received:
+            self.capture.record(session=session, direction=direction,
+                                data=decoded.raw)
+
+
+@dataclass
+class SessionStats:
+    """Per-session message and byte accounting."""
+
+    session: str
+    received: int = 0
+    sent: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    error: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# the server
+# ---------------------------------------------------------------------------
+
+
+class ObfuscatedServer:
+    """Serves a registry protocol over (possibly obfuscated) byte streams.
+
+    Every accepted connection is one *session*: inbound messages are framed
+    with the request-direction decoder, handed to the ``responder`` hook
+    (default: the protocol's registered core-application responder) and each
+    non-``None`` reply is serialized over the response direction.  A server
+    with ``responder=None`` is a pure sink — it decodes and, when a capture
+    is attached, records.
+
+    The response serializer and the responder RNG are shared across sessions
+    (messages serialize atomically between awaits), so a single-session run
+    is byte-deterministic given ``seed``.
+    """
+
+    def __init__(self, protocol: "str | registry.ProtocolSetup", *,
+                 request_graph: FormatGraph | None = None,
+                 response_graph: FormatGraph | None = None,
+                 responder: "Responder | None | object" = registry.DEFAULT,
+                 framing: str = "auto",
+                 seed: int = 0,
+                 capture: Capture | None = None,
+                 record_spans: bool | None = None,
+                 capture_received: bool = False):
+        self._endpoint = _Endpoint(
+            protocol, request_graph=request_graph, response_graph=response_graph,
+            framing=framing, seed=seed, capture=capture,
+            record_spans=record_spans, capture_received=capture_received,
+        )
+        if responder is registry.DEFAULT:
+            responder = self._endpoint.setup.responder
+        self.responder: Responder | None = responder
+        self._responder_rng = Random(seed + 0x5EED)
+        self._response_serializer = self._endpoint.serializer("response")
+        self._session_ids = itertools.count(1)
+        self.completed: list[SessionStats] = []
+        self._tcp_server: asyncio.AbstractServer | None = None
+
+    @property
+    def endpoint(self) -> _Endpoint:
+        return self._endpoint
+
+    # -- session driving -------------------------------------------------------
+
+    async def serve_session(self, reader: asyncio.StreamReader, writer, *,
+                            session_id: str | None = None) -> SessionStats:
+        """Drive one session to completion (client EOF) and return its stats."""
+        endpoint = self._endpoint
+        session = (session_id if session_id is not None
+                   else f"session-{next(self._session_ids)}")
+        decoder = make_decoder(endpoint.request_graph, endpoint.request_framing,
+                               plan=endpoint.request_plan)
+        pump = _MessagePump(reader, decoder)
+        stats = SessionStats(session)
+        try:
+            while True:
+                decoded = await pump.next()
+                if decoded is None:
+                    break
+                stats.received += 1
+                stats.bytes_received += len(decoded.raw)
+                endpoint.capture_inbound(session, "request", decoded)
+                if self.responder is None:
+                    continue
+                reply = self.responder(decoded.message, self._responder_rng)
+                if reply is None:
+                    continue
+                payload, spans = endpoint.encode(self._response_serializer, reply)
+                endpoint.capture_sent(session, "response", payload, spans, reply)
+                writer.write(frame_payload(payload, endpoint.response_framing))
+                await writer.drain()
+                stats.sent += 1
+                stats.bytes_sent += len(payload)
+        except Exception as exc:
+            stats.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self.completed.append(stats)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport already gone
+                pass
+        return stats
+
+    # -- TCP front-end ---------------------------------------------------------
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0
+                        ) -> tuple[str, int]:
+        """Listen on ``host:port`` (0 = ephemeral); returns the bound address."""
+
+        async def handle(reader, writer):
+            try:
+                await self.serve_session(reader, writer)
+            except Exception:
+                # Session errors are recorded in stats; keep the server up.
+                pass
+
+        self._tcp_server = await asyncio.start_server(handle, host, port)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+
+
+# ---------------------------------------------------------------------------
+# the client
+# ---------------------------------------------------------------------------
+
+
+class ObfuscatedClient:
+    """One protocol session against an :class:`ObfuscatedServer`.
+
+    Connect with :meth:`connect_tcp`, :meth:`connect_memory` (spawns the
+    server session as a background task over the in-process transport) or
+    :meth:`attach` (any reader/writer pair).  :meth:`request` sends one
+    logical message and awaits one reply; :meth:`send` is fire-and-forget
+    for one-way flows (sink servers, protocols whose responder stays quiet).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, protocol: "str | registry.ProtocolSetup", *,
+                 request_graph: FormatGraph | None = None,
+                 response_graph: FormatGraph | None = None,
+                 framing: str = "auto",
+                 seed: int = 0,
+                 capture: Capture | None = None,
+                 record_spans: bool | None = None,
+                 capture_received: bool = False,
+                 session_id: str | None = None):
+        self._endpoint = _Endpoint(
+            protocol, request_graph=request_graph, response_graph=response_graph,
+            framing=framing, seed=seed, capture=capture,
+            record_spans=record_spans, capture_received=capture_received,
+        )
+        self.session_id = (session_id if session_id is not None
+                           else f"client-{next(self._ids)}")
+        self._request_serializer = self._endpoint.serializer("request")
+        self._reader: asyncio.StreamReader | None = None
+        self._writer = None
+        self._pump: _MessagePump | None = None
+        self._server_task: asyncio.Task | None = None
+        self.stats = SessionStats(self.session_id)
+
+    @property
+    def endpoint(self) -> _Endpoint:
+        return self._endpoint
+
+    # -- connecting ------------------------------------------------------------
+
+    def attach(self, reader: asyncio.StreamReader, writer) -> "ObfuscatedClient":
+        """Attach an already-open duplex stream."""
+        endpoint = self._endpoint
+        self._reader, self._writer = reader, writer
+        self._pump = _MessagePump(
+            reader,
+            make_decoder(endpoint.response_graph, endpoint.response_framing,
+                         plan=endpoint.response_plan),
+        )
+        return self
+
+    async def connect_tcp(self, host: str, port: int) -> "ObfuscatedClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return self.attach(reader, writer)
+
+    def connect_memory(self, server: ObfuscatedServer) -> "ObfuscatedClient":
+        """Open an in-process session; the server side runs as a task."""
+        return connect_memory(self, server)
+
+    # -- talking ---------------------------------------------------------------
+
+    async def send(self, message: Message) -> bytes:
+        """Serialize and send one request; returns its wire payload."""
+        if self._writer is None:
+            raise ConnectionError("client is not connected")
+        endpoint = self._endpoint
+        payload, spans = endpoint.encode(self._request_serializer, message)
+        endpoint.capture_sent(self.session_id, "request", payload, spans, message)
+        self._writer.write(frame_payload(payload, endpoint.request_framing))
+        await self._writer.drain()
+        self.stats.sent += 1
+        self.stats.bytes_sent += len(payload)
+        return payload
+
+    async def receive(self) -> DecodedMessage | None:
+        """Await the next framed response (``None`` at end of stream)."""
+        if self._pump is None:
+            raise ConnectionError("client is not connected")
+        decoded = await self._pump.next()
+        if decoded is not None:
+            self.stats.received += 1
+            self.stats.bytes_received += len(decoded.raw)
+            self._endpoint.capture_inbound(self.session_id, "response", decoded)
+        return decoded
+
+    async def request(self, message: Message) -> Message:
+        """Send one request and await its reply (logical message)."""
+        await self.send(message)
+        decoded = await self.receive()
+        if decoded is None:
+            raise ConnectionError(
+                f"session {self.session_id}: server closed before replying"
+            )
+        return decoded.message
+
+    # -- teardown --------------------------------------------------------------
+
+    async def close(self, *, wait_server: bool = True) -> None:
+        """Half-close the write side, drain the stream, release the transport."""
+        if self._writer is not None:
+            half_close(self._writer)
+        if self._pump is not None:
+            while await self._pump.next() is not None:
+                pass
+        if self._server_task is not None and wait_server:
+            try:
+                await self._server_task
+            except Exception:
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except Exception:  # pragma: no cover
+                pass
+        self._reader = self._writer = self._pump = None
+
+
+def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer
+                   ) -> ObfuscatedClient:
+    """Wire ``client`` to ``server`` over the in-process duplex transport.
+
+    The server session is spawned as a background task; ``client.close()``
+    awaits it, so the returned stats land in ``server.completed`` before the
+    client's ``close()`` resolves.  Must run inside an event loop.
+    """
+    (client_reader, client_writer), (server_reader, server_writer) = memory_pipe()
+    client.attach(client_reader, client_writer)
+    client._server_task = asyncio.ensure_future(
+        server.serve_session(server_reader, server_writer,
+                             session_id=client.session_id)
+    )
+    return client

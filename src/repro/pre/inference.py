@@ -16,7 +16,6 @@ exact — results are identical to the naive quadratic pipeline, only faster.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from .alignment import pairwise_similarity
 from .clustering import Clustering, cluster_messages
@@ -57,8 +56,17 @@ class FormatInferencer:
         self.parallel = parallel
         self.max_workers = max_workers
 
-    def infer(self, messages: Sequence[bytes]) -> InferenceResult:
-        """Classify ``messages`` and infer each class's field segmentation."""
+    def infer(self, messages) -> InferenceResult:
+        """Classify ``messages`` and infer each class's field segmentation.
+
+        ``messages`` is a sequence of wire byte strings, or any object with a
+        ``messages()`` method returning one — notably a live
+        :class:`repro.net.Capture`, so transported traffic feeds the engine
+        directly.
+        """
+        if not isinstance(messages, (list, tuple)) and callable(
+                getattr(messages, "messages", None)):
+            messages = messages.messages()
         trace = tuple(bytes(message) for message in messages)
         if not trace:
             return InferenceResult(messages=(), clustering=Clustering(clusters=()), fields=())
@@ -73,10 +81,13 @@ class FormatInferencer:
         return InferenceResult(messages=trace, clustering=clustering, fields=fields)
 
 
-def infer_formats(messages: Sequence[bytes], *, similarity_threshold: float = 0.65,
+def infer_formats(messages, *, similarity_threshold: float = 0.65,
                   parallel: bool = False, max_workers: int | None = None
                   ) -> InferenceResult:
-    """Module-level convenience wrapper around :class:`FormatInferencer`."""
+    """Module-level convenience wrapper around :class:`FormatInferencer`.
+
+    Accepts a sequence of wire messages or a live :class:`repro.net.Capture`.
+    """
     return FormatInferencer(
         similarity_threshold=similarity_threshold,
         parallel=parallel,

@@ -9,6 +9,7 @@ from .app import (
     random_query,
     random_rdata,
     random_response,
+    respond,
     split_labels,
 )
 from .spec import (
@@ -35,6 +36,7 @@ SETUP = registry.register(
         message_generator=random_query,
         response_graph_factory=response_graph,
         response_generator=random_response,
+        responder=respond,
         description="DNS queries/responses (binary, length-prefixed label sequences)",
     )
 )
@@ -56,6 +58,7 @@ __all__ = [
     "random_rdata",
     "random_request",
     "random_response",
+    "respond",
     "request_graph",
     "response_graph",
     "split_labels",

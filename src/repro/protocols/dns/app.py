@@ -172,6 +172,11 @@ def matching_response(query: Message, rng: Random) -> Message:
     return build_response(questions, answers, response_id=query.get("query_id"))
 
 
+def respond(query: Message, rng: Random) -> Message:
+    """Session-driver hook: a resolver answers every question of the query."""
+    return matching_response(query, rng)
+
+
 def random_conversation(rng: Random, exchanges: int) -> list[tuple[str, Message]]:
     """Draw an alternating query/response DNS conversation."""
     conversation: list[tuple[str, Message]] = []

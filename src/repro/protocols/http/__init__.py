@@ -11,6 +11,7 @@ from .app import (
     random_conversation,
     random_request,
     random_response,
+    respond,
 )
 from .spec import CRLF, HEADER_SEPARATOR, SP, request_graph, response_graph
 from .. import registry
@@ -23,6 +24,7 @@ SETUP = registry.register(
         message_generator=random_request,
         response_graph_factory=response_graph,
         response_generator=random_response,
+        responder=respond,
         description="Simplified HTTP/1.1 (text protocol of the paper's evaluation)",
     )
 )
@@ -42,6 +44,7 @@ __all__ = [
     "random_conversation",
     "random_request",
     "random_response",
+    "respond",
     "request_graph",
     "response_graph",
 ]

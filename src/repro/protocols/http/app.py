@@ -119,6 +119,40 @@ def random_response(rng: Random, *, with_body: bool | None = None) -> Message:
     )
 
 
+def respond(request: Message, rng: Random) -> Message:
+    """Session-driver hook: answer one request with a plausible response.
+
+    Write methods are acknowledged with ``201 Created``, everything else with
+    ``200 OK``; the response echoes the request's protocol version and its
+    ``X-Request-Id`` header when present, and carries a body except for HEAD.
+    """
+    method = request.get("method", "GET")
+    if method in METHODS_WITH_BODY:
+        status_code, reason = "201", "Created"
+    else:
+        status_code, reason = "200", "OK"
+    headers = _random_headers(rng)
+    for index in range(request.list_length("request_headers")):
+        name = request.get(f"request_headers[{index}].request_header_name")
+        if name == "X-Request-Id":
+            # The echo replaces any randomly drawn X-Request-Id so the
+            # header appears exactly once, carrying the request's value.
+            headers = [(header, value) for header, value in headers
+                       if header != "X-Request-Id"]
+            headers.append(
+                ("X-Request-Id",
+                 request.get(f"request_headers[{index}].request_header_value"))
+            )
+            break
+    return build_response(
+        status_code,
+        reason,
+        version=request.get("request_version", "HTTP/1.1"),
+        headers=headers,
+        body=None if method == "HEAD" else _random_body(rng),
+    )
+
+
 def random_conversation(rng: Random, exchanges: int) -> list[tuple[str, Message]]:
     """Draw an alternating request/response HTTP conversation."""
     conversation: list[tuple[str, Message]] = []

@@ -9,6 +9,7 @@ from .app import (
     random_response,
     realistic_request,
     realistic_response,
+    respond,
 )
 from .spec import (
     FUNCTION_CODES,
@@ -28,6 +29,7 @@ SETUP = registry.register(
         message_generator=random_request,
         response_graph_factory=response_graph,
         response_generator=random_response,
+        responder=respond,
         description="TCP-Modbus (binary protocol of the paper's evaluation)",
     )
 )
@@ -46,6 +48,7 @@ __all__ = [
     "random_response",
     "realistic_request",
     "realistic_response",
+    "respond",
     "request_graph",
     "response_graph",
 ]

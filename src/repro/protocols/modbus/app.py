@@ -256,6 +256,11 @@ def matching_response(request: Message, rng: Random) -> Message:
     return random_response(rng, function_code=function_code, transaction_id=transaction_id)
 
 
+def respond(request: Message, rng: Random) -> Message:
+    """Session-driver hook: a Modbus server answers every request it decodes."""
+    return matching_response(request, rng)
+
+
 def random_conversation(rng: Random, exchanges: int) -> list[tuple[str, Message]]:
     """Draw an alternating request/response conversation of ``exchanges`` exchanges."""
     conversation: list[tuple[str, Message]] = []

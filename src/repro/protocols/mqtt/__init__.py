@@ -8,6 +8,7 @@ from .app import (
     random_payload,
     random_session,
     random_topic,
+    respond,
 )
 from .spec import (
     CONNECT,
@@ -32,6 +33,7 @@ SETUP = registry.register(
         label="MQTT",
         graph_factory=packet_graph,
         message_generator=random_packet,
+        responder=respond,
         description="MQTT CONNECT/PUBLISH packets (binary, variable-length header)",
     )
 )
@@ -53,6 +55,7 @@ __all__ = [
     "random_payload",
     "random_request",
     "random_session",
+    "respond",
     "random_topic",
     "request_graph",
 ]

@@ -126,6 +126,32 @@ def random_packet(rng: Random, *, packet_type: int | None = None) -> Message:
     raise ValueError(f"unsupported packet type 0x{packet_type:02X}")
 
 
+def respond(packet: Message, rng: Random) -> Message | None:
+    """Session-driver hook: the broker side of one MQTT session.
+
+    PINGREQ is echoed back (standing in for PINGRESP, which the spec does
+    not model), PUBLISH packets are forwarded to the session as QoS-0
+    deliveries — the broker-to-subscriber leg — and CONNECT is absorbed
+    (CONNACK is likewise out of the modelled packet families).
+    """
+    packet_type = packet.get("packet_type")
+    if packet_type == PINGREQ:
+        return build_pingreq()
+    if packet_type == PUBLISH_QOS0:
+        return build_publish(
+            packet.get(f"{_QOS0_PREFIX}.publish_qos0_topic"),
+            packet.get(f"{_QOS0_PREFIX}.publish_qos0_payload"),
+            qos=0,
+        )
+    if packet_type == PUBLISH_QOS1:
+        return build_publish(
+            packet.get(f"{_QOS1_PREFIX}.publish_qos1_topic"),
+            packet.get(f"{_QOS1_PREFIX}.publish_qos1_payload"),
+            qos=0,
+        )
+    return None
+
+
 def random_session(rng: Random, publishes: int) -> list[Message]:
     """Draw a plausible session: CONNECT, then ``publishes`` PUBLISH packets."""
     session = [random_packet(rng, packet_type=CONNECT)]

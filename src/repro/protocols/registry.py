@@ -26,6 +26,12 @@ from ..wire.plan import CodecPlan, plan_for
 
 GraphFactory = Callable[[], FormatGraph]
 MessageGenerator = Callable[[Random], Message]
+#: Session-driver hook: maps one decoded request to its reply (or ``None``
+#: for messages the protocol does not answer).
+Responder = Callable[[Message, Random], "Message | None"]
+
+#: Sentinel for "use the protocol's registered default" keyword arguments.
+DEFAULT = object()
 
 
 class ProtocolRegistryError(ValueError):
@@ -49,6 +55,10 @@ class ProtocolSetup:
     message_generator: MessageGenerator
     response_graph_factory: GraphFactory | None = None
     response_generator: MessageGenerator | None = None
+    #: core-application session hook driven by the live transport layer
+    #: (:mod:`repro.net`): called once per decoded request, returns the reply
+    #: to serialize back — or ``None`` when the protocol stays quiet.
+    responder: Responder | None = None
     description: str = ""
     #: canonical graph instances per direction, hosts of the cached codec
     #: plans (``graph_factory`` builds a fresh graph per call; consumers that

@@ -6,24 +6,44 @@ from .pieces import Chunk, LengthSlot, PieceList
 from .plan import CodecPlan, TerminalPlan, compile_plan, invalidate, plan_for
 from .serializer import Serializer, serialize, serialize_with_spans
 from .spans import FieldSpan, boundaries
+from .streaming import (
+    NEED_MORE,
+    DecodedMessage,
+    StreamingDecoder,
+    StreamingParser,
+    StreamSource,
+    StreamWindow,
+    decode_stream,
+    is_self_framing,
+    stream_greedy_nodes,
+)
 from .window import Window
 
 __all__ = [
     "Chunk",
     "CodecPlan",
+    "DecodedMessage",
     "FieldSpan",
     "LengthSlot",
+    "NEED_MORE",
     "Parser",
     "PieceList",
     "Serializer",
+    "StreamSource",
+    "StreamWindow",
+    "StreamingDecoder",
+    "StreamingParser",
     "TerminalPlan",
     "Window",
     "WireCodec",
     "boundaries",
     "compile_plan",
+    "decode_stream",
     "invalidate",
+    "is_self_framing",
     "parse",
     "plan_for",
     "serialize",
     "serialize_with_spans",
+    "stream_greedy_nodes",
 ]

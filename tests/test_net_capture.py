@@ -1,0 +1,172 @@
+"""Capture objects: JSONL portability and capture-driven PRE experiments.
+
+The load-bearing test is the reproduction check: a live, transported HTTP
+workload captured on the serializing side must drive ``run_resilience`` to
+*exactly* the scores of the classic in-memory experiment — plain trace and
+obfuscation levels alike.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from random import Random
+
+import pytest
+
+from repro.experiments import run_resilience
+from repro.experiments.resilience import _generic_workload
+from repro.net import Capture, CaptureError, ObfuscatedClient, ObfuscatedServer, connect_memory
+from repro.pre import infer_formats
+from repro.protocols import registry
+
+
+def live_capture(key: str, workload, *, seed: int = 0) -> Capture:
+    """Transport ``workload`` over one in-process session, capturing both sides.
+
+    The client sends the workload's requests; a scripted responder makes the
+    server answer with the workload's exact response messages, so the capture
+    replays the in-memory experiment's traffic byte-for-byte.
+    """
+
+    async def scenario():
+        capture = Capture()
+        responses = iter(message for direction, message in workload
+                         if direction == "response")
+        server = ObfuscatedServer(
+            key, responder=lambda request, rng: next(responses),
+            seed=seed, capture=capture,
+        )
+        client = connect_memory(
+            ObfuscatedClient(key, seed=seed, capture=capture), server)
+        for direction, message in workload:
+            if direction == "request":
+                await client.request(message)
+        await client.close()
+        assert server.completed[0].error is None
+        return capture
+
+    return asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# capture bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def test_capture_records_and_views():
+    setup = registry.get("modbus")
+    workload, _ = _generic_workload(setup, 3, 6)
+    capture = live_capture("modbus", workload)
+    assert len(capture) == 6
+    assert capture.protocol == "modbus"
+    assert capture.types() == [direction for direction, _ in workload]
+    assert capture.sessions() == ("client-1",) or len(capture.sessions()) == 1
+    requests = capture.filter(direction="request")
+    assert len(requests) == 3
+    assert all(record.direction == "request" for record in requests)
+    assert capture.byte_count() == sum(len(record.data) for record in capture)
+    assert all(record.has_truth() for record in capture)
+
+
+def test_capture_jsonl_round_trip(tmp_path):
+    setup = registry.get("dns")
+    workload, _ = _generic_workload(setup, 5, 4)
+    capture = live_capture("dns", workload)
+    path = tmp_path / "trace.jsonl"
+    assert capture.to_jsonl(path) == 4
+    loaded = Capture.from_jsonl(path)
+    assert loaded.protocol == "dns"
+    assert len(loaded) == len(capture)
+    for original, restored in zip(capture, loaded):
+        assert restored.session == original.session
+        assert restored.direction == original.direction
+        assert restored.data == original.data
+        assert restored.timestamp == pytest.approx(original.timestamp, abs=1e-5)
+        assert restored.spans == original.spans
+        assert restored.logical == original.logical
+
+
+def test_capture_redacted_export_is_sniffer_view(tmp_path):
+    setup = registry.get("modbus")
+    workload, _ = _generic_workload(setup, 1, 4)
+    capture = live_capture("modbus", workload)
+    path = tmp_path / "attacker.jsonl"
+    capture.to_jsonl(path, redact=True)
+    loaded = Capture.from_jsonl(path)
+    assert [record.data for record in loaded] == capture.messages()
+    assert all(not record.has_truth() for record in loaded)
+    with pytest.raises(CaptureError):
+        loaded.field_spans()
+    with pytest.raises(CaptureError):
+        loaded.workload()
+    # The redacted view still feeds the PRE engine (bytes are all it needs).
+    result = infer_formats(loaded)
+    assert result.cluster_count >= 1
+
+
+def test_capture_from_malformed_jsonl(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"session": "s", "direction": "request"}\n')
+    with pytest.raises(CaptureError):
+        Capture.from_jsonl(path)
+
+
+# ---------------------------------------------------------------------------
+# capture-driven experiments
+# ---------------------------------------------------------------------------
+
+
+def test_run_resilience_on_live_http_capture_reproduces_in_memory_results():
+    """Acceptance: a transported plain-HTTP workload scores identically."""
+    seed, size = 0, 12
+    workload, _ = _generic_workload(registry.get("http"), seed, size)
+    capture = live_capture("http", workload, seed=seed)
+    live = run_resilience(capture=capture, passes_levels=(1,), seed=seed)
+    memory = run_resilience(protocol="http", passes_levels=(1,), seed=seed,
+                            trace_size=size)
+    assert live.protocol == "http"
+    assert live.plain == memory.plain
+    assert live.obfuscated == memory.obfuscated
+
+
+def test_run_resilience_on_mqtt_capture():
+    """Single-direction protocols map their response leg onto the packet graph."""
+    async def scenario():
+        capture = Capture()
+        server = ObfuscatedServer("mqtt", capture=capture)
+        client = connect_memory(ObfuscatedClient("mqtt", capture=capture), server)
+        from repro.protocols import mqtt
+
+        rng = Random(4)
+        for _ in range(6):
+            await client.request(
+                mqtt.build_publish(mqtt.random_topic(rng),
+                                   mqtt.random_payload(rng), qos=0))
+        await client.close()
+        return capture
+
+    capture = asyncio.run(scenario())
+    report = run_resilience(capture=capture, passes_levels=(1,), seed=0)
+    assert report.protocol == "mqtt"
+    assert 0.0 <= report.plain.boundary_f1 <= 1.0
+    assert set(report.obfuscated) == {1}
+
+
+def test_run_resilience_capture_protocol_mismatch():
+    setup = registry.get("modbus")
+    workload, _ = _generic_workload(setup, 0, 2)
+    capture = live_capture("modbus", workload)
+    with pytest.raises(ValueError):
+        run_resilience(capture=capture, protocol="http")
+
+
+def test_infer_formats_accepts_capture_directly():
+    setup = registry.get("modbus")
+    workload, _ = _generic_workload(setup, 7, 8)
+    capture = live_capture("modbus", workload)
+    from_capture = infer_formats(capture)
+    from_bytes = infer_formats(capture.messages())
+    assert from_capture.clustering.clusters == from_bytes.clustering.clusters
+    for index in range(len(capture)):
+        assert (from_capture.boundaries_for(index)
+                == from_bytes.boundaries_for(index))
