@@ -1,0 +1,142 @@
+"""Obfuscation plans as shared keys: persist, ship, rotate mid-session, score.
+
+The full key lifecycle of the paper's threat model in one script:
+
+1. an obfuscation plan is drawn per key and **persisted to plan files** —
+   the serialized shared secret (``repro.spec.planfile``);
+2. both endpoints **load the same files** into their plan books and derive
+   bit-identical dialects (same key ids, same wire formats) — no shared RNG;
+3. a live session exchanges traffic and **rotates keys mid-session** via
+   rotation control records: only the key id crosses the wire;
+4. the capture — every record tagged with the plan fingerprint in force —
+   is handed to the **PRE engine**, which now faces traffic that changes
+   format mid-trace.
+
+Run with:  python examples/plan_rotation_session.py [protocol] [rotations]
+(default: modbus, 3 rotations)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+from random import Random
+
+from repro.analysis import render_table
+from repro.net import (
+    Capture,
+    ObfuscatedClient,
+    ObfuscatedServer,
+    PlanBook,
+    SessionKey,
+    connect_memory,
+)
+from repro.pre import infer_formats
+from repro.pre.evaluate import score_inference
+from repro.protocols import mqtt, registry
+from repro.spec import load_plan, save_plan
+from repro.transforms.engine import Obfuscator
+
+PASSES = 1            # obfuscations per node of each key's dialect
+REQUESTS_PER_KEY = 6  # messages exchanged before each rotation
+
+
+def persist_key_plans(setup, seed: int, directory: Path) -> list[Path]:
+    """Draw one dialect and save its per-direction plans as files."""
+    paths = []
+    request_plan = Obfuscator(seed=seed).obfuscate(
+        setup.reference_graph("request"), PASSES).plan()
+    paths.append(save_plan(request_plan, directory / f"key-{seed}-request.json"))
+    if setup.response_graph_factory is not None:
+        response_plan = Obfuscator(seed=seed + 1).obfuscate(
+            setup.reference_graph("response"), PASSES).plan()
+        paths.append(save_plan(response_plan, directory / f"key-{seed}-response.json"))
+    return paths
+
+
+def load_key(setup, paths: list[Path]) -> SessionKey:
+    """What each endpoint does with the shipped files: replay into a key."""
+    request_plan = load_plan(paths[0])
+    response_plan = load_plan(paths[1]) if len(paths) > 1 else None
+    return SessionKey.from_plans(setup, request_plan, response_plan)
+
+
+def client_message(setup, rng: Random):
+    """One request that elicits a reply (CONNECT has no modelled CONNACK)."""
+    if setup.key == "mqtt":
+        return mqtt.random_packet(rng, packet_type=rng.choice(
+            (mqtt.PUBLISH_QOS0, mqtt.PUBLISH_QOS1, mqtt.PINGREQ)))
+    return setup.message_generator(rng)
+
+
+async def rotated_session(setup, keys: list[SessionKey]) -> Capture:
+    """One session rotating through every key, capture tagged per record."""
+    capture = Capture()
+    server = ObfuscatedServer(setup, plan_book=PlanBook(keys), capture=capture)
+    client = connect_memory(
+        ObfuscatedClient(setup, plan_book=PlanBook(keys), capture=capture),
+        server,
+    )
+    rng = Random(4242)
+    for index, key in enumerate(keys):
+        if index:
+            await client.rotate(key.key_id)
+        for _ in range(REQUESTS_PER_KEY):
+            await client.request(client_message(setup, rng))
+    await client.close()
+    stats = server.completed[0]
+    assert stats.error is None, stats.error
+    print(f"session complete: {stats.received} requests answered across "
+          f"{stats.rotations} rotation(s), zero errors")
+    return capture
+
+
+def main() -> None:
+    protocol = sys.argv[1] if len(sys.argv) > 1 else "modbus"
+    rotations = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    setup = registry.get(protocol)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        # 1. persist one plan file set per key (the serialized shared secrets)
+        shipped = [persist_key_plans(setup, seed, directory)
+                   for seed in range(10, 10 + (rotations + 1) * 10, 10)]
+        total_files = sum(len(paths) for paths in shipped)
+        print(f"persisted {total_files} plan file(s) for "
+              f"{len(shipped)} key(s) under {directory}")
+
+        # 2. both endpoints rebuild identical keys from the shipped files
+        keys = [load_key(setup, paths) for paths in shipped]
+        print("key ids:", ", ".join(key.key_id for key in keys))
+
+        # 3. live session with mid-session rotations
+        capture = asyncio.run(rotated_session(setup, keys))
+
+    # 4. the analyst's view: one trace whose format changes mid-stream
+    dialects = [fpr for fpr in dict.fromkeys(capture.plan_fingerprints())]
+    score = score_inference(infer_formats(capture), capture.field_spans(),
+                            capture.types())
+    print(render_table(
+        ["Captured msgs", "Dialects in trace", "Boundary F1", "Recall",
+         "Clusters"],
+        [[
+            f"{len(capture)} ({capture.byte_count()} B)",
+            f"{len(dialects)}",
+            f"{score.boundary_f1:.3f}",
+            f"{score.boundary_recall:.3f}",
+            f"{score.cluster_count} (true: {score.true_type_count})",
+        ]],
+        title=f"PRE against a rotated {setup.label} capture "
+              f"({rotations} mid-session rotation(s))",
+    ))
+    print()
+    print("Interpretation: every rotation splits the trace into another")
+    print("dialect of the same protocol; the analyst must now explain")
+    print("several wire formats with one model, on top of the per-dialect")
+    print("obfuscation — rotation is a second, orthogonal hardening axis.")
+
+
+if __name__ == "__main__":
+    main()

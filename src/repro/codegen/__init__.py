@@ -1,6 +1,6 @@
 """Code generation of standalone serialization libraries (paper Section VI)."""
 
-from .emitter import generate_module
+from .emitter import generate_module, generate_module_from_plan
 from .loader import GeneratedCodec, load_source, write_module
 from .naming import accessor_suffix, parser_function, sanitize, serializer_function, struct_class
 
@@ -8,6 +8,7 @@ __all__ = [
     "GeneratedCodec",
     "accessor_suffix",
     "generate_module",
+    "generate_module_from_plan",
     "load_source",
     "parser_function",
     "sanitize",

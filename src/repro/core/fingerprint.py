@@ -1,0 +1,82 @@
+"""Canonical graph signatures and fingerprints.
+
+An obfuscated message format graph *is* the shared secret of the paper's
+threat model: two endpoints interoperate exactly when they hold the same
+transformed format.  This module gives that identity a stable, process- and
+machine-independent name: :func:`graph_signature` renders every structural and
+obfuscation attribute of a graph into one canonical text (a superset of the
+DSL — codec chains, synthesis rules, mirroring and padding included), and
+:func:`graph_fingerprint` hashes it.
+
+Two graphs with equal fingerprints serialize and parse identically; the plan
+layer (:mod:`repro.transforms.plan`) fingerprints its source graph and its
+replayed result with these functions, and the codec-plan cache
+(:mod:`repro.wire.plan`) uses the fingerprint as a cache key that survives
+replays and process boundaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .graph import FormatGraph
+from .node import Node
+
+
+def _chain_text(node: Node) -> str:
+    if not node.codec_chain:
+        return "-"
+    return ",".join(
+        f"{op.kind.value}:{op.constant}:{int(op.bytewise)}:{op.width}"
+        for op in node.codec_chain
+    )
+
+
+def _synthesis_text(node: Node) -> str:
+    if node.synthesis is None:
+        return "-"
+    return f"{node.synthesis.op.value}:{node.synthesis.kind.value}:{node.synthesis.width}"
+
+
+def _node_line(node: Node, depth: int) -> str:
+    fields = (
+        str(depth),
+        node.name,
+        node.type.value,
+        node.boundary.describe(),
+        node.value_kind.value if node.value_kind is not None else "-",
+        node.endian.value,
+        str(node.origin) if node.origin is not None else "-",
+        node.presence_ref if node.presence_ref is not None else "-",
+        repr(node.presence_value),
+        _chain_text(node),
+        _synthesis_text(node),
+        str(node.split_at),
+        str(int(node.mirrored)),
+        str(int(node.is_pad)),
+    )
+    return "|".join(fields)
+
+
+def graph_signature(graph: FormatGraph) -> str:
+    """Canonical textual rendering of every wire-relevant attribute of ``graph``.
+
+    Pre-order node lines carrying name, type, boundary, value encoding,
+    origin, presence condition, codec chain, synthesis rule, split position,
+    mirroring and padding flags.  Two graphs with equal signatures are
+    byte-for-byte interchangeable on the wire.
+    """
+    lines = [f"graph|{graph.name}"]
+
+    def visit(node: Node, depth: int) -> None:
+        lines.append(_node_line(node, depth))
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(graph.root, 0)
+    return "\n".join(lines) + "\n"
+
+
+def graph_fingerprint(graph: FormatGraph) -> str:
+    """SHA-256 hex digest of :func:`graph_signature` — the graph's stable identity."""
+    return hashlib.sha256(graph_signature(graph).encode("utf-8")).hexdigest()

@@ -40,6 +40,13 @@ class FormatGraph:
         self.root = root
         self.name = name
         self._fresh_counter = 0
+        #: Fingerprint of the :class:`~repro.transforms.plan.ObfuscationPlan`
+        #: this graph was replayed from (or had extracted from it), when known.
+        #: Stamped by the plan layer; cleared by :func:`repro.wire.plan.invalidate`
+        #: whenever a transformation rewrites the graph in place.  The codec-plan
+        #: cache keys stamped graphs by this value, so two replays of one plan —
+        #: in the same process or across processes — share one compiled plan slot.
+        self.plan_fingerprint: str | None = None
 
     # -- traversal and lookup -------------------------------------------------
 
@@ -115,7 +122,12 @@ class FormatGraph:
     # -- copying ---------------------------------------------------------------
 
     def clone(self) -> "FormatGraph":
-        """Deep copy of the graph (transformations operate on clones)."""
+        """Deep copy of the graph (transformations operate on clones).
+
+        ``plan_fingerprint`` is deliberately not carried over: clones exist to
+        be mutated, and a stale stamp would alias the clone's codec plan with
+        the original's.  The plan layer re-stamps replayed clones itself.
+        """
         copy = FormatGraph(self.root.clone(), name=self.name)
         copy._fresh_counter = self._fresh_counter
         return copy

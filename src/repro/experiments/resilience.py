@@ -104,6 +104,18 @@ def _capture(graphs: Mapping[str, FormatGraph],
     return trace, spans
 
 
+def _segment_bounds(total: int, segments: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal slices of a workload (first slices get the rest)."""
+    base, extra = divmod(total, segments)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(segments):
+        end = start + base + (1 if index < extra else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
 def run_resilience(*, protocol: str | None = None,
                    passes_levels: Sequence[int] = (1,), seed: int = 0,
                    function_codes: Sequence[int] = (1, 3, 6, 16), repeats: int = 2,
@@ -111,7 +123,8 @@ def run_resilience(*, protocol: str | None = None,
                    similarity_threshold: float = 0.65,
                    parallel: bool = False,
                    max_workers: int | None = None,
-                   capture: object | None = None) -> ResilienceReport:
+                   capture: object | None = None,
+                   rotations: int = 0) -> ResilienceReport:
     """Run the resilience experiment and score every obfuscation level.
 
     The defaults mirror the paper's setting: four different Modbus messages
@@ -128,7 +141,17 @@ def run_resilience(*, protocol: str | None = None,
     session.  Its wire bytes and ground-truth spans become the plain trace
     exactly as captured, and its logical messages become the workload that
     the obfuscation levels re-serialize — so a live plain capture reproduces
-    the in-memory experiment's scores when the workloads match.
+    the in-memory experiment's scores when the workloads match.  A capture
+    taken across mid-session key rotations works end-to-end: its mixed-dialect
+    bytes are the plain trace the analyst sees.
+
+    ``rotations`` is the rotated-traffic scenario: each obfuscation level
+    serializes the workload in ``rotations + 1`` contiguous segments, every
+    segment under an independently drawn obfuscation of the same level —
+    emulating endpoints that switch plans mid-trace.  The analyst still sees
+    one undifferentiated trace, so the scores quantify what key rotation does
+    to the PRE engine on top of a single static obfuscation
+    (``rotations=0``, the default, reproduces the static experiment exactly).
     """
     if capture is not None:
         capture_protocol = getattr(capture, "protocol", None)
@@ -177,21 +200,35 @@ def run_resilience(*, protocol: str | None = None,
         plain_trace, plain_spans = _capture(base_graphs, workload, seed)
     plain_score = score_inference(inferencer.infer(plain_trace), plain_spans, types)
 
+    if rotations < 0:
+        raise ValueError(f"rotations cannot be negative ({rotations})")
+    segments = _segment_bounds(len(workload), rotations + 1)
+
     obfuscated_scores: dict[int, InferenceScore] = {}
     for passes in passes_levels:
-        # Aliased directions (a single-direction protocol answering over its
-        # request graph) share one obfuscated graph, exactly like a live
-        # deployment serializing both directions over the same dialect.
-        obfuscated_by_identity: dict[int, FormatGraph] = {}
-        obfuscated = {}
-        for offset, (direction, graph) in enumerate(base_graphs.items()):
-            transformed = obfuscated_by_identity.get(id(graph))
-            if transformed is None:
-                transformed = Obfuscator(seed=seed + offset).obfuscate(
-                    graph, passes).graph
-                obfuscated_by_identity[id(graph)] = transformed
-            obfuscated[direction] = transformed
-        trace, spans = _capture(obfuscated, workload, seed)
+        trace: list[bytes] = []
+        spans: list[list[FieldSpan]] = []
+        for segment, (start, end) in enumerate(segments):
+            # Aliased directions (a single-direction protocol answering over
+            # its request graph) share one obfuscated graph, exactly like a
+            # live deployment serializing both directions over the same
+            # dialect.  Each rotation segment draws its own dialect; segment 0
+            # uses the historical seed derivation, so rotations=0 reproduces
+            # the static experiment bit for bit.
+            obfuscated_by_identity: dict[int, FormatGraph] = {}
+            obfuscated = {}
+            for offset, (direction, graph) in enumerate(base_graphs.items()):
+                transformed = obfuscated_by_identity.get(id(graph))
+                if transformed is None:
+                    transformed = Obfuscator(
+                        seed=seed + offset + 7919 * segment
+                    ).obfuscate(graph, passes).graph
+                    obfuscated_by_identity[id(graph)] = transformed
+                obfuscated[direction] = transformed
+            segment_trace, segment_spans = _capture(
+                obfuscated, workload[start:end], seed)
+            trace.extend(segment_trace)
+            spans.extend(segment_spans)
         obfuscated_scores[passes] = score_inference(inferencer.infer(trace), spans, types)
 
     return ResilienceReport(plain=plain_score, obfuscated=obfuscated_scores,

@@ -36,6 +36,7 @@ from ..metrics.potency import NormalizedPotency, PotencyMetrics, measure_source
 from ..protocols import registry
 from ..transforms.engine import Obfuscator
 from ..transforms.base import Transformation
+from ..transforms.plan import ObfuscationPlan
 
 
 @dataclass(frozen=True)
@@ -118,6 +119,7 @@ TABLE_HEADERS = [
 def _run_once_task(protocol: str, seed: int, messages_per_run: int,
                    transformations: list[Transformation] | None,
                    reference: PotencyMetrics | None,
+                   plan: "ObfuscationPlan | None",
                    passes: int, run_index: int) -> "RunResult":
     """One experiment run executed inside a worker process.
 
@@ -125,7 +127,8 @@ def _run_once_task(protocol: str, seed: int, messages_per_run: int,
     derivation inside :meth:`ExperimentRunner.run_once` is untouched, so the
     draw is bit-identical to the sequential execution of the same indices.
     ``reference`` carries the parent's reference potency so that workers do
-    not regenerate the non-obfuscated library once per run.
+    not regenerate the non-obfuscated library once per run, and ``plan`` the
+    level's obfuscation plan when the parent runs in replay mode.
     """
     runner = ExperimentRunner(
         protocol,
@@ -134,7 +137,7 @@ def _run_once_task(protocol: str, seed: int, messages_per_run: int,
         transformations=transformations,
     )
     runner._reference = reference
-    return runner.run_once(passes, run_index)
+    return runner.run_once(passes, run_index, plan=plan)
 
 
 @dataclass
@@ -157,6 +160,14 @@ class ExperimentRunner:
     transformations: list[Transformation] | None = None
     parallel: bool = False
     max_workers: int | None = None
+    #: Replay one obfuscation plan per level across its runs instead of
+    #: re-running the engine once per run: the level's plan is drawn once
+    #: (from run index 0's seed), and every run deterministically replays it.
+    #: The message workload still varies per run (the run seed feeds the
+    #: codec and message RNGs exactly as in engine mode), so cost metrics
+    #: keep their per-run spread while the potency columns — a property of
+    #: the shared dialect — are measured on the identical graph.
+    reuse_plan: bool = False
     _reference: PotencyMetrics | None = field(default=None, init=False, repr=False)
     _reference_buffer: float | None = field(default=None, init=False, repr=False)
 
@@ -174,20 +185,42 @@ class ExperimentRunner:
 
     # -- single runs -----------------------------------------------------------
 
-    def run_once(self, passes: int, run_index: int) -> RunResult:
-        """One experiment run: obfuscate, generate, measure potency and cost."""
+    def level_plan(self, passes: int) -> ObfuscationPlan:
+        """The obfuscation plan replayed by every run of one level.
+
+        Drawn with run index 0's seed, so replay mode measures the exact
+        dialect that engine mode's first run would produce.
+        """
+        run_seed = self.seed * 10_000 + passes * 100
+        obfuscator = Obfuscator(self.transformations, seed=run_seed)
+        return obfuscator.obfuscate(self.setup.reference_graph(), passes).plan()
+
+    def run_once(self, passes: int, run_index: int, *,
+                 plan: ObfuscationPlan | None = None) -> RunResult:
+        """One experiment run: obfuscate (or replay ``plan``), generate, measure.
+
+        With ``plan`` the obfuscation engine is skipped entirely: the plan is
+        deterministically replayed on the shared reference graph — no RNG, no
+        per-step validation, shared compiled codec plan — which is the
+        replay-vs-re-derive speedup measured by ``benchmarks/test_bench_plan_replay.py``.
+        """
         run_seed = self.seed * 10_000 + passes * 100 + run_index
-        # The obfuscator clones before transforming, so the shared reference
-        # graph (and its cached plan) is never mutated by a run.
+        # The obfuscator (and plan replay) clones before transforming, so the
+        # shared reference graph (and its cached plan) is never mutated by a run.
         graph = self.setup.reference_graph()
         start = time.perf_counter()
-        obfuscator = Obfuscator(self.transformations, seed=run_seed)
-        result = obfuscator.obfuscate(graph, passes)
-        source = generate_module(result.graph)
+        if plan is not None:
+            obfuscated = plan.replay(graph, validate=False)
+            applied = len(plan.records)
+        else:
+            result = Obfuscator(self.transformations, seed=run_seed).obfuscate(graph, passes)
+            obfuscated = result.graph
+            applied = result.applied_count
+        source = generate_module(obfuscated)
         generation_ms = (time.perf_counter() - start) * 1000.0
         potency = measure_source(source)
         normalized = potency.normalized(self.reference_potency())
-        codec = GeneratedCodec(result.graph, seed=run_seed, source=source)
+        codec = GeneratedCodec(obfuscated, seed=run_seed, source=source)
         message_rng = Random(run_seed + 1)
         workload = [
             self.setup.message_generator(message_rng) for _ in range(self.messages_per_run)
@@ -196,7 +229,7 @@ class ExperimentRunner:
         return RunResult(
             protocol=self.protocol,
             passes=passes,
-            applied=result.applied_count,
+            applied=applied,
             potency=potency,
             normalized=normalized,
             generation_ms=generation_ms,
@@ -207,13 +240,19 @@ class ExperimentRunner:
 
     def run_level(self, passes: int) -> list[RunResult]:
         """Every run of one obfuscation level (parallel when configured)."""
+        plan = self.level_plan(passes) if self.reuse_plan else None
         if self.parallel and self.runs_per_level > 1:
-            results = self._run_level_parallel(passes)
+            results = self._run_level_parallel(passes, plan)
             if results is not None:
                 return results
-        return [self.run_once(passes, index) for index in range(self.runs_per_level)]
+        return [
+            self.run_once(passes, index, plan=plan)
+            for index in range(self.runs_per_level)
+        ]
 
-    def _run_level_parallel(self, passes: int) -> list[RunResult] | None:
+    def _run_level_parallel(self, passes: int,
+                            plan: ObfuscationPlan | None = None
+                            ) -> list[RunResult] | None:
         """Fan the runs of one level out over a process pool.
 
         Returns ``None`` when no pool can be started (restricted platforms),
@@ -231,7 +270,7 @@ class ExperimentRunner:
             context = multiprocessing.get_context("fork")
         reference = self.reference_potency()
         task = (self.protocol, self.seed, self.messages_per_run,
-                self.transformations, reference)
+                self.transformations, reference, plan)
         try:
             # Pre-flight: unpicklable configurations (custom transformation
             # objects holding lambdas, open handles, ...) fail here instead of

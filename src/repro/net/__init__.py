@@ -12,6 +12,8 @@ straight into the PRE resilience study.
   in-process duplex transport, driving the protocols' responder hooks;
 * :mod:`repro.net.proxy` — :class:`ObfuscatedProxy`, the transparent
   plain↔obfuscated gateway;
+* :mod:`repro.net.rotation` — :class:`SessionKey` / :class:`PlanBook`, the
+  pre-shared obfuscation plans that endpoints rotate through mid-session;
 * :mod:`repro.net.capture` — :class:`Capture` records of the wire traffic
   (JSONL-portable, accepted by ``run_resilience`` and ``infer_formats``).
 
@@ -26,8 +28,15 @@ from ..wire.streaming import (
     stream_greedy_nodes,
 )
 from .capture import Capture, CaptureError, CaptureRecord
-from .framing import RecordDecoder, encode_record, resolve_framing
+from .framing import (
+    RecordDecoder,
+    RotationEvent,
+    encode_record,
+    encode_rotation,
+    resolve_framing,
+)
 from .proxy import ObfuscatedProxy, ProxyStats
+from .rotation import PlanBook, SessionKey, derive_session_key
 from .session import (
     MemoryWriter,
     ObfuscatedClient,
@@ -46,13 +55,18 @@ __all__ = [
     "ObfuscatedClient",
     "ObfuscatedProxy",
     "ObfuscatedServer",
+    "PlanBook",
     "ProxyStats",
     "RecordDecoder",
+    "RotationEvent",
+    "SessionKey",
     "SessionStats",
     "StreamingDecoder",
     "connect_memory",
     "decode_stream",
+    "derive_session_key",
     "encode_record",
+    "encode_rotation",
     "is_self_framing",
     "memory_pipe",
     "resolve_framing",

@@ -57,6 +57,10 @@ class CaptureRecord:
     spans: tuple[FieldSpan, ...] | None = None
     #: ground-truth logical message content (serializing side only).
     logical: Message | None = None
+    #: fingerprint of the obfuscation plan in force when the record crossed
+    #: the transport (``None`` for plain/unstamped formats).  Under mid-session
+    #: key rotation this is what partitions a trace into its dialects.
+    plan_fingerprint: str | None = None
 
     def has_truth(self) -> bool:
         """True when the record carries serializer-side ground truth."""
@@ -82,7 +86,8 @@ class Capture:
     def record(self, *, session: str, direction: str, data: bytes,
                spans: Iterable[FieldSpan] | None = None,
                logical: Message | None = None,
-               timestamp: float | None = None) -> CaptureRecord:
+               timestamp: float | None = None,
+               plan_fingerprint: str | None = None) -> CaptureRecord:
         """Append one wire message to the capture."""
         entry = CaptureRecord(
             seq=len(self._records),
@@ -92,6 +97,7 @@ class Capture:
             data=bytes(data),
             spans=None if spans is None else tuple(spans),
             logical=logical,
+            plan_fingerprint=plan_fingerprint,
         )
         self._records.append(entry)
         return entry
@@ -143,6 +149,27 @@ class Capture:
     def types(self) -> list[object]:
         """True message type of every record (its protocol direction)."""
         return [record.direction for record in self._records]
+
+    def plan_fingerprints(self) -> list[str | None]:
+        """Plan fingerprint in force for every record, in capture order."""
+        return [record.plan_fingerprint for record in self._records]
+
+    def rotation_count(self) -> int:
+        """Number of plan switches observed, per (session, direction) stream.
+
+        Request and response directions carry distinct per-direction plan
+        fingerprints, so switches are counted within each stream — a rotated
+        ping-pong session of N rotations reports ``2 * N`` (both directions
+        switch).
+        """
+        switches = 0
+        last: dict[tuple[str, str], str | None] = {}
+        for record in self._records:
+            key = (record.session, record.direction)
+            if key in last and record.plan_fingerprint != last[key]:
+                switches += 1
+            last[key] = record.plan_fingerprint
+        return switches
 
     def field_spans(self) -> list[list[FieldSpan]]:
         """Ground-truth spans of every record (requires serializer-side truth)."""
@@ -221,6 +248,11 @@ class Capture:
         }
         if self.protocol is not None:
             payload["protocol"] = self.protocol
+        if record.plan_fingerprint is not None:
+            # Kept in the redacted view as well: an on-path attacker observing
+            # a rotation control record knows *that* the dialect changed (not
+            # what it changed to), and the scoring helpers need the partition.
+            payload["plan"] = record.plan_fingerprint
         if not redact:
             if record.spans is not None:
                 payload["spans"] = [
@@ -257,6 +289,7 @@ class Capture:
                 for entry in spans
             ),
             logical=None if logical is None else Message(_unjsonable(logical)),
+            plan_fingerprint=payload.get("plan"),
         )
 
 

@@ -15,9 +15,21 @@ Two framings move protocol messages across a byte stream:
 is what the session layer defaults to.  The capture layer always records the
 *payload* bytes — the protocol message exactly as the PRE substrate expects
 it — never the record envelope.
+
+Record framing additionally carries **rotation control records**: an
+all-ones length prefix (``0xFFFFFFFF``, invalid as a payload length) followed
+by a short key identifier.  A rotation record tells the receiver "every
+record after this boundary is serialized under the plan registered as
+``key_id``" — the plan itself is never on the wire; both endpoints must hold
+it in their :class:`~repro.net.rotation.PlanBook` (the shared secret of the
+paper's threat model).  Native framing has no envelope to carry control
+records, so rotation-capable sessions always use record framing.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 from ..core.errors import ParseError, StreamError
 from ..core.graph import FormatGraph
@@ -30,6 +42,13 @@ RECORD_HEADER = 4
 #: Upper bound on one record's payload; guards against desynchronized or
 #: hostile peers allocating unbounded buffers.
 MAX_RECORD_SIZE = 1 << 24
+
+#: Length-prefix value marking a rotation control record.  Far above
+#: MAX_RECORD_SIZE, so it can never be a legitimate payload length.
+ROTATION_SENTINEL = (1 << (8 * RECORD_HEADER)) - 1
+
+#: Width of the key-identifier length field of a rotation control record.
+ROTATION_KEY_HEADER = 2
 
 FRAMINGS = ("auto", "native", "record")
 
@@ -58,6 +77,33 @@ def encode_record(payload: bytes) -> bytes:
     return len(payload).to_bytes(RECORD_HEADER, "big") + payload
 
 
+@dataclass(frozen=True)
+class RotationEvent:
+    """A plan switch observed in a record stream, at its exact boundary.
+
+    Emitted by :class:`RecordDecoder` in stream order between the decoded
+    messages, so a consumer replying to a batch of messages serializes each
+    reply under the key that was in force when *that* message was decoded.
+    """
+
+    key_id: str
+
+
+def encode_rotation(key_id: str) -> bytes:
+    """Wire bytes of a rotation control record announcing ``key_id``."""
+    encoded = key_id.encode("utf-8")
+    if not encoded or len(encoded) >= 1 << (8 * ROTATION_KEY_HEADER):
+        raise StreamError(
+            f"rotation key id must encode to 1..{(1 << (8 * ROTATION_KEY_HEADER)) - 1} "
+            f"bytes, got {len(encoded)}"
+        )
+    return (
+        ROTATION_SENTINEL.to_bytes(RECORD_HEADER, "big")
+        + len(encoded).to_bytes(ROTATION_KEY_HEADER, "big")
+        + encoded
+    )
+
+
 class RecordDecoder:
     """Incremental decoder of length-prefixed records carrying wire messages.
 
@@ -66,13 +112,25 @@ class RecordDecoder:
     ``feed()`` / ``feed_eof()`` surface: each completed record's payload is
     parsed as one whole message (strict), and the reported stream offsets
     are *payload* offsets so captures and decoders agree on extents.
+
+    With a ``key_resolver`` the decoder additionally understands rotation
+    control records (:func:`encode_rotation`): the resolver maps the announced
+    key id to the new format graph, the decoder swaps its parser at that exact
+    record boundary, and a :class:`RotationEvent` is emitted in stream order
+    so the consumer can rotate its own sending side in step.  Without a
+    resolver a rotation record is a hard :class:`StreamError` — an endpoint
+    that does not hold the plan book cannot follow the key change.
     """
 
-    def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None):
+    def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None,
+                 key_resolver: "Callable[[str], FormatGraph] | None" = None):
         from ..wire.parser import Parser  # local: keeps module import light
 
         self.graph = graph
         self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
+        self._key_resolver = key_resolver
+        #: key id of the plan currently in force (None until the first rotation).
+        self.current_key: str | None = None
         self._buffer = bytearray()
         self._eof = False
         self._decoded = 0
@@ -87,14 +145,14 @@ class RecordDecoder:
     def decoded_count(self) -> int:
         return self._decoded
 
-    def feed(self, data: bytes) -> list[DecodedMessage]:
+    def feed(self, data: bytes) -> "list[DecodedMessage | RotationEvent]":
         self._check_failed()
         if self._eof:
             raise StreamError("cannot feed bytes after end-of-stream")
         self._buffer += data
         return self._drain()
 
-    def feed_eof(self) -> list[DecodedMessage]:
+    def feed_eof(self) -> "list[DecodedMessage | RotationEvent]":
         self._check_failed()
         self._eof = True
         completed = self._drain()
@@ -105,12 +163,70 @@ class RecordDecoder:
             ))
         return completed
 
-    def _drain(self) -> list[DecodedMessage]:
-        completed: list[DecodedMessage] = []
+    def rotate_to(self, graph: FormatGraph, *, plan: CodecPlan | None = None,
+                  key_id: str | None = None) -> None:
+        """Switch to decoding ``graph`` from the next record on.
+
+        Used by an endpoint rotating its *receiving* direction locally (the
+        client after announcing a rotation): refuses to switch while bytes of
+        the old dialect are still buffered — rotate at a quiescent message
+        boundary.  Inbound rotation control records switch the parser
+        directly instead, because bytes buffered *behind* the control record
+        already belong to the new dialect.
+        """
+        from ..wire.parser import Parser  # local: keeps module import light
+
+        if self._buffer:
+            raise StreamError(
+                f"cannot rotate the decoder with {len(self._buffer)} byte(s) "
+                f"of the previous dialect still buffered; drain in-flight "
+                f"records first"
+            )
+        self.graph = graph
+        self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
+        self.current_key = key_id
+
+    def _drain(self) -> "list[DecodedMessage | RotationEvent]":
+        from ..wire.parser import Parser  # local: keeps module import light
+
+        completed: "list[DecodedMessage | RotationEvent]" = []
         while True:
             if len(self._buffer) < RECORD_HEADER:
                 break
             size = int.from_bytes(self._buffer[:RECORD_HEADER], "big")
+            if size == ROTATION_SENTINEL:
+                header = RECORD_HEADER + ROTATION_KEY_HEADER
+                if len(self._buffer) < header:
+                    break
+                key_size = int.from_bytes(
+                    self._buffer[RECORD_HEADER:header], "big"
+                )
+                if len(self._buffer) < header + key_size:
+                    break
+                key_id = bytes(self._buffer[header:header + key_size]).decode(
+                    "utf-8", errors="replace"
+                )
+                del self._buffer[:header + key_size]
+                if self._key_resolver is None:
+                    raise self._fail(StreamError(
+                        f"peer announced a rotation to key {key_id!r} but this "
+                        f"endpoint holds no plan book",
+                        message_index=self._decoded,
+                    ))
+                try:
+                    graph = self._key_resolver(key_id)
+                except KeyError as exc:
+                    raise self._fail(StreamError(
+                        f"peer rotated to unknown key {key_id!r}",
+                        message_index=self._decoded,
+                    )) from exc
+                # Swap directly: any bytes buffered behind the control record
+                # were serialized under the new dialect by stream order.
+                self.graph = graph
+                self._parser = Parser(graph, plan=plan_for(graph))
+                self.current_key = key_id
+                completed.append(RotationEvent(key_id))
+                continue
             if size >= MAX_RECORD_SIZE:
                 raise self._fail(StreamError(
                     f"record of {size} bytes exceeds the {MAX_RECORD_SIZE}-byte "
@@ -149,12 +265,22 @@ class RecordDecoder:
 
 
 def make_decoder(graph: FormatGraph, framing: str, *,
-                 plan: CodecPlan | None = None):
-    """Instantiate the incremental decoder matching a resolved framing."""
+                 plan: CodecPlan | None = None,
+                 key_resolver: "Callable[[str], FormatGraph] | None" = None):
+    """Instantiate the incremental decoder matching a resolved framing.
+
+    ``key_resolver`` enables rotation control records; only record framing
+    carries them (native framing has no envelope for control traffic).
+    """
     if framing == "native":
+        if key_resolver is not None:
+            raise StreamError(
+                "native framing cannot carry rotation control records; "
+                "use record framing for rotation-capable sessions"
+            )
         return StreamingDecoder(graph, plan=plan)
     if framing == "record":
-        return RecordDecoder(graph, plan=plan)
+        return RecordDecoder(graph, plan=plan, key_resolver=key_resolver)
     raise ValueError(f"unresolved framing {framing!r}")
 
 
@@ -171,8 +297,12 @@ __all__ = [
     "FRAMINGS",
     "MAX_RECORD_SIZE",
     "RECORD_HEADER",
+    "ROTATION_KEY_HEADER",
+    "ROTATION_SENTINEL",
     "RecordDecoder",
+    "RotationEvent",
     "encode_record",
+    "encode_rotation",
     "frame_payload",
     "make_decoder",
     "resolve_framing",

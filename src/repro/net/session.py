@@ -19,6 +19,16 @@ ground-truth field spans and the logical message — which is what turns a live
 run into a fully labelled PRE trace.  ``capture_received=True`` additionally
 records inbound messages raw-only (the sniffer view) for endpoints whose peer
 is out of process.
+
+Endpoints holding a :class:`~repro.net.rotation.PlanBook` support
+**mid-session key rotation**: the client announces a registered key id with a
+rotation control record (:func:`~repro.net.framing.encode_rotation`) at a
+quiescent message boundary, then both sides swap serializers and decoders to
+the new dialect — requests and responses after the boundary ride the new
+plan, and every capture record is tagged with the plan fingerprint in force
+when it crossed the transport.  Rotation-capable sessions always use record
+framing (the control record needs the envelope); the plan itself never
+touches the wire.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import itertools
 from dataclasses import dataclass
 from random import Random
 
+from ..core.errors import StreamError
 from ..core.graph import FormatGraph
 from ..core.message import Message
 from ..protocols import registry
@@ -35,7 +46,14 @@ from ..wire.plan import plan_for
 from ..wire.serializer import Serializer
 from ..wire.streaming import DecodedMessage
 from .capture import Capture
-from .framing import frame_payload, make_decoder, resolve_framing
+from .framing import (
+    RotationEvent,
+    encode_rotation,
+    frame_payload,
+    make_decoder,
+    resolve_framing,
+)
+from .rotation import PlanBook, SessionKey
 
 #: Read granularity of the session pumps.
 CHUNK_SIZE = 1 << 16
@@ -158,22 +176,52 @@ class _Endpoint:
                  seed: int = 0,
                  capture: Capture | None = None,
                  record_spans: bool | None = None,
-                 capture_received: bool = False):
+                 capture_received: bool = False,
+                 plan_book: PlanBook | None = None):
         self.setup = (registry.get(protocol) if isinstance(protocol, str)
                       else protocol)
-        # Defaults come from the setup's shared reference graphs, so every
-        # endpoint of a protocol executes against the same cached CodecPlans
-        # instead of compiling fresh ones per client.
-        self.request_graph = (request_graph if request_graph is not None
-                              else self.setup.reference_graph("request"))
+        self.plan_book = plan_book
+        initial = plan_book.initial if plan_book is not None else None
+        if plan_book is not None:
+            # Rotation control records ride the record-framing envelope;
+            # native back-to-back framing has nowhere to carry them.
+            if framing == "native":
+                raise StreamError(
+                    "rotation-capable sessions require record framing "
+                    "(native streams cannot carry rotation control records)"
+                )
+            framing = "record"
+        # Defaults come from the plan book's initial key when one is held,
+        # else from the setup's shared reference graphs, so every endpoint of
+        # a protocol executes against the same cached CodecPlans instead of
+        # compiling fresh ones per client.
+        if request_graph is not None:
+            self.request_graph = request_graph
+        elif initial is not None:
+            self.request_graph = initial.request_graph
+        else:
+            self.request_graph = self.setup.reference_graph("request")
         if response_graph is not None:
             self.response_graph = response_graph
+        elif initial is not None:
+            self.response_graph = initial.response_graph
         elif self.setup.response_graph_factory is not None:
             self.response_graph = self.setup.reference_graph("response")
         else:
             # Protocols modelling a single direction (MQTT) reply over the
             # same packet graph — a broker speaks the same format back.
             self.response_graph = self.request_graph
+        #: plan fingerprints in force at session start (capture tagging).
+        self.request_fingerprint = (
+            initial.request_fingerprint
+            if initial is not None and request_graph is None
+            else getattr(self.request_graph, "plan_fingerprint", None)
+        )
+        self.response_fingerprint = (
+            initial.response_fingerprint
+            if initial is not None and response_graph is None
+            else getattr(self.response_graph, "plan_fingerprint", None)
+        )
         self.request_plan = plan_for(self.request_graph)
         self.response_plan = plan_for(self.response_graph)
         self.request_framing = resolve_framing(self.request_graph, framing)
@@ -194,6 +242,10 @@ class _Endpoint:
         return Serializer(self.response_graph, rng=Random(self.seed),
                           plan=self.response_plan)
 
+    def key_serializer(self, graph: FormatGraph) -> Serializer:
+        """A fresh serializer over a rotated-to graph, seeded like the others."""
+        return Serializer(graph, rng=Random(self.seed), plan=plan_for(graph))
+
     def encode(self, serializer: Serializer, message: Message):
         """Serialize one message, returning ``(payload, spans-or-None)``."""
         if self.record_spans:
@@ -201,16 +253,20 @@ class _Endpoint:
         return serializer.serialize(message), None
 
     def capture_sent(self, session: str, direction: str, payload: bytes,
-                     spans, message: Message) -> None:
+                     spans, message: Message,
+                     plan_fingerprint: str | None = None) -> None:
         if self.capture is not None:
             self.capture.record(session=session, direction=direction,
-                                data=payload, spans=spans, logical=message)
+                                data=payload, spans=spans, logical=message,
+                                plan_fingerprint=plan_fingerprint)
 
     def capture_inbound(self, session: str, direction: str,
-                        decoded: DecodedMessage) -> None:
+                        decoded: DecodedMessage,
+                        plan_fingerprint: str | None = None) -> None:
         if self.capture is not None and self.capture_received:
             self.capture.record(session=session, direction=direction,
-                                data=decoded.raw)
+                                data=decoded.raw,
+                                plan_fingerprint=plan_fingerprint)
 
 
 @dataclass
@@ -222,6 +278,7 @@ class SessionStats:
     sent: int = 0
     bytes_received: int = 0
     bytes_sent: int = 0
+    rotations: int = 0
     error: str | None = None
 
 
@@ -253,11 +310,13 @@ class ObfuscatedServer:
                  seed: int = 0,
                  capture: Capture | None = None,
                  record_spans: bool | None = None,
-                 capture_received: bool = False):
+                 capture_received: bool = False,
+                 plan_book: PlanBook | None = None):
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
             framing=framing, seed=seed, capture=capture,
             record_spans=record_spans, capture_received=capture_received,
+            plan_book=plan_book,
         )
         if responder is registry.DEFAULT:
             responder = self._endpoint.setup.responder
@@ -276,29 +335,56 @@ class ObfuscatedServer:
 
     async def serve_session(self, reader: asyncio.StreamReader, writer, *,
                             session_id: str | None = None) -> SessionStats:
-        """Drive one session to completion (client EOF) and return its stats."""
+        """Drive one session to completion (client EOF) and return its stats.
+
+        Sessions of a plan-book-holding server are rotation-capable: every
+        rotation control record decoded in the request stream swaps this
+        session's request decoder (inside the decoder, at the exact record
+        boundary) and its response serializer (here, in stream order — a
+        reply is serialized under the key in force when its request was
+        decoded).  Rotation state is session-local; such sessions therefore
+        use a per-session response serializer instead of the shared one.
+        """
         endpoint = self._endpoint
+        book = endpoint.plan_book
         session = (session_id if session_id is not None
                    else f"session-{next(self._session_ids)}")
+        key_resolver = None
+        if book is not None:
+            key_resolver = lambda key_id: book.get(key_id).request_graph  # noqa: E731
         decoder = make_decoder(endpoint.request_graph, endpoint.request_framing,
-                               plan=endpoint.request_plan)
+                               plan=endpoint.request_plan,
+                               key_resolver=key_resolver)
         pump = _MessagePump(reader, decoder)
         stats = SessionStats(session)
+        response_serializer = (self._response_serializer if book is None
+                               else endpoint.serializer("response"))
+        request_fingerprint = endpoint.request_fingerprint
+        response_fingerprint = endpoint.response_fingerprint
         try:
             while True:
                 decoded = await pump.next()
                 if decoded is None:
                     break
+                if isinstance(decoded, RotationEvent):
+                    key = book.get(decoded.key_id)
+                    response_serializer = endpoint.key_serializer(key.response_graph)
+                    request_fingerprint = key.request_fingerprint
+                    response_fingerprint = key.response_fingerprint
+                    stats.rotations += 1
+                    continue
                 stats.received += 1
                 stats.bytes_received += len(decoded.raw)
-                endpoint.capture_inbound(session, "request", decoded)
+                endpoint.capture_inbound(session, "request", decoded,
+                                         plan_fingerprint=request_fingerprint)
                 if self.responder is None:
                     continue
                 reply = self.responder(decoded.message, self._responder_rng)
                 if reply is None:
                     continue
-                payload, spans = endpoint.encode(self._response_serializer, reply)
-                endpoint.capture_sent(session, "response", payload, spans, reply)
+                payload, spans = endpoint.encode(response_serializer, reply)
+                endpoint.capture_sent(session, "response", payload, spans, reply,
+                                      plan_fingerprint=response_fingerprint)
                 writer.write(frame_payload(payload, endpoint.response_framing))
                 await writer.drain()
                 stats.sent += 1
@@ -363,15 +449,19 @@ class ObfuscatedClient:
                  capture: Capture | None = None,
                  record_spans: bool | None = None,
                  capture_received: bool = False,
-                 session_id: str | None = None):
+                 session_id: str | None = None,
+                 plan_book: PlanBook | None = None):
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
             framing=framing, seed=seed, capture=capture,
             record_spans=record_spans, capture_received=capture_received,
+            plan_book=plan_book,
         )
         self.session_id = (session_id if session_id is not None
                            else f"client-{next(self._ids)}")
         self._request_serializer = self._endpoint.serializer("request")
+        self._request_fingerprint = self._endpoint.request_fingerprint
+        self._response_fingerprint = self._endpoint.response_fingerprint
         self._reader: asyncio.StreamReader | None = None
         self._writer = None
         self._pump: _MessagePump | None = None
@@ -411,7 +501,8 @@ class ObfuscatedClient:
             raise ConnectionError("client is not connected")
         endpoint = self._endpoint
         payload, spans = endpoint.encode(self._request_serializer, message)
-        endpoint.capture_sent(self.session_id, "request", payload, spans, message)
+        endpoint.capture_sent(self.session_id, "request", payload, spans, message,
+                              plan_fingerprint=self._request_fingerprint)
         self._writer.write(frame_payload(payload, endpoint.request_framing))
         await self._writer.drain()
         self.stats.sent += 1
@@ -426,7 +517,8 @@ class ObfuscatedClient:
         if decoded is not None:
             self.stats.received += 1
             self.stats.bytes_received += len(decoded.raw)
-            self._endpoint.capture_inbound(self.session_id, "response", decoded)
+            self._endpoint.capture_inbound(self.session_id, "response", decoded,
+                                           plan_fingerprint=self._response_fingerprint)
         return decoded
 
     async def request(self, message: Message) -> Message:
@@ -438,6 +530,51 @@ class ObfuscatedClient:
                 f"session {self.session_id}: server closed before replying"
             )
         return decoded.message
+
+    async def rotate(self, key_id: str, *,
+                     require_quiescence: bool = True) -> SessionKey:
+        """Switch the session to the plan registered under ``key_id``.
+
+        Announces the rotation to the server with a control record, then
+        swaps this side's request serializer and response decoder to the new
+        dialect.  Rotation must happen at a quiescent message boundary: the
+        server serializes replies to pre-rotation requests under the old key,
+        so an unanswered request at rotation time would have its reply decoded
+        with the wrong graph.  The default guard refuses while any sent
+        request is still unanswered (and the response decoder independently
+        refuses while old-dialect bytes sit in its buffer); pass
+        ``require_quiescence=False`` for deliberately one-way flows (sink
+        servers, responders that stay quiet), where no reply is in flight by
+        construction.  Only the key id crosses the wire — the server must
+        hold the same key in its own plan book.
+        """
+        endpoint = self._endpoint
+        if endpoint.plan_book is None:
+            raise StreamError(
+                "client holds no plan book; construct it with plan_book= to "
+                "rotate mid-session"
+            )
+        if self._writer is None or self._pump is None:
+            raise ConnectionError("client is not connected")
+        if require_quiescence and self.stats.sent != self.stats.received:
+            pending = self.stats.sent - self.stats.received
+            raise StreamError(
+                f"cannot rotate with {pending} unanswered request(s): their "
+                f"replies are serialized under the old key; await them first, "
+                f"or pass require_quiescence=False for one-way flows"
+            )
+        key = endpoint.plan_book.get(key_id)
+        decoder = self._pump._decoder
+        if not hasattr(decoder, "rotate_to"):  # pragma: no cover - framing forced
+            raise StreamError("response decoder does not support rotation")
+        self._writer.write(encode_rotation(key.key_id))
+        await self._writer.drain()
+        decoder.rotate_to(key.response_graph, key_id=key.key_id)
+        self._request_serializer = endpoint.key_serializer(key.request_graph)
+        self._request_fingerprint = key.request_fingerprint
+        self._response_fingerprint = key.response_fingerprint
+        self.stats.rotations += 1
+        return key
 
     # -- teardown --------------------------------------------------------------
 

@@ -1,7 +1,23 @@
-"""Message format specification DSL: lexer, parser and writer."""
+"""Message format specification DSL: lexer, parser, writer and plan files.
+
+The DSL pins the plain format; a plan file (:mod:`repro.spec.planfile`) pins
+one obfuscated dialect of it — together they fully determine the wire format.
+"""
 
 from .lexer import Lexer, Token, tokenize
 from .parser import SpecParser, parse_spec
+from .planfile import dump_plan, load_plan, load_plan_text, save_plan
 from .writer import write_spec
 
-__all__ = ["Lexer", "SpecParser", "Token", "parse_spec", "tokenize", "write_spec"]
+__all__ = [
+    "Lexer",
+    "SpecParser",
+    "Token",
+    "dump_plan",
+    "load_plan",
+    "load_plan_text",
+    "parse_spec",
+    "save_plan",
+    "tokenize",
+    "write_spec",
+]

@@ -1,0 +1,76 @@
+"""Plan files: persist obfuscation plans alongside the specification DSL.
+
+A specification pins the *plain* format (the DSL text handled by
+:mod:`repro.spec.parser` / :mod:`repro.spec.writer`); a plan file pins one
+*obfuscated dialect* of it — the serialized
+:class:`~repro.transforms.plan.ObfuscationPlan` that replays the plain graph
+into the shared-secret format.  Shipping both files to an endpoint is the
+key-distribution step of the paper's threat model: ``spec + plan`` fully
+determines the wire format, no engine run or shared RNG seed required.
+
+The on-disk layout is the plan's canonical JSON body plus a ``fingerprint``
+field; :func:`load_plan` recomputes the fingerprint over the body and rejects
+files whose content no longer hashes to the declared value (truncated copies,
+hand-edited records), so a loaded plan is exactly the artifact that was saved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..transforms.plan import ObfuscationPlan, PlanError
+
+
+def dump_plan(plan: ObfuscationPlan, *, indent: int | None = 2) -> str:
+    """Render ``plan`` as plan-file text (canonical body + fingerprint)."""
+    payload = plan.to_dict()
+    payload["fingerprint"] = plan.fingerprint
+    return json.dumps(payload, sort_keys=True, indent=indent) + "\n"
+
+
+def load_plan_text(text: str) -> ObfuscationPlan:
+    """Parse plan-file text, verifying the declared fingerprint."""
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise PlanError(f"plan file is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise PlanError("plan file must contain a JSON object")
+    declared = payload.pop("fingerprint", None)
+    if declared is None:
+        # save_plan always writes the field; its absence means the file was
+        # truncated or hand-edited, so treat it as tampering rather than
+        # silently skipping the integrity check.
+        raise PlanError(
+            "plan file carries no fingerprint; refusing to load an "
+            "unverifiable plan (was the file truncated or hand-edited?)"
+        )
+    plan = ObfuscationPlan.from_dict(payload)
+    if declared != plan.fingerprint:
+        raise PlanError(
+            f"plan file fingerprint mismatch: file declares "
+            f"{str(declared)[:12]}… but its records hash to "
+            f"{plan.fingerprint[:12]}… (corrupted or hand-edited plan)"
+        )
+    return plan
+
+
+def save_plan(plan: ObfuscationPlan, path: str | Path) -> Path:
+    """Write ``plan`` to ``path`` and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dump_plan(plan), encoding="utf-8")
+    return target
+
+
+def load_plan(path: str | Path) -> ObfuscationPlan:
+    """Load a plan previously written by :func:`save_plan`."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PlanError(f"cannot read plan file {path}: {exc}") from exc
+    try:
+        return load_plan_text(text)
+    except PlanError as exc:
+        raise PlanError(f"{path}: {exc}") from exc

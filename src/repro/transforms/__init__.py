@@ -11,6 +11,13 @@ from .const import ConstAdd, ConstSub, ConstXor
 from .engine import ObfuscationResult, Obfuscator, obfuscate
 from .mirror import ReadFromEnd
 from .pad import PadInsert
+from .plan import (
+    ObfuscationPlan,
+    PlanError,
+    extract_plan,
+    record_from_dict,
+    record_to_dict,
+)
 from .registry import (
     TRANSFORMATION_FAMILIES,
     by_name,
@@ -27,9 +34,11 @@ __all__ = [
     "ConstAdd",
     "ConstSub",
     "ConstXor",
+    "ObfuscationPlan",
     "ObfuscationResult",
     "Obfuscator",
     "PadInsert",
+    "PlanError",
     "ReadFromEnd",
     "RepSplit",
     "SplitAdd",
@@ -43,7 +52,10 @@ __all__ = [
     "TransformationRecord",
     "by_name",
     "default_transformations",
+    "extract_plan",
     "family",
     "obfuscate",
+    "record_from_dict",
+    "record_to_dict",
     "transformation_names",
 ]

@@ -5,13 +5,24 @@ another graph pattern under applicability constraints, and is invertible by
 construction: the wire runtime knows how to serialize and parse the rewritten
 pattern so that the logical message is preserved.
 
-Every transformation implements two methods:
+Every transformation implements three methods:
 
 * :meth:`Transformation.is_applicable` — the applicability constraints of the
   paper's Table II, refined with the concrete correctness conditions of this
   runtime (documented on each class),
-* :meth:`Transformation.apply` — the in-place graph rewriting, returning a
-  :class:`TransformationRecord` describing what was changed.
+* :meth:`Transformation.draw` — make every random decision (constants, cut
+  positions, insertion points, fresh node names) and return the fully
+  parameterized :class:`TransformationRecord`, **without touching the graph**,
+* :meth:`Transformation._replay` — the in-place graph rewriting, driven
+  entirely by a record's parameters.
+
+:meth:`Transformation.apply` is the composition ``draw`` → ``replay``: the
+random path and the deterministic path execute the *same* rewriting code, so a
+record extracted from any engine run replays to a bit-identical graph on a
+fresh clone of the plain specification — no RNG required.  That replayability
+is what makes an :class:`~repro.transforms.plan.ObfuscationPlan` a first-class
+keyed artifact (persist it, ship it, rotate it) instead of a side effect of
+re-running the engine with a shared seed.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from random import Random
 from typing import Any, ClassVar
 
 from ..core.boundary import BoundaryKind
+from ..core.errors import TransformError
 from ..core.graph import FormatGraph
 from ..core.node import Node
 from ..wire.plan import invalidate as _invalidate_plan
@@ -65,20 +77,73 @@ class Transformation(ABC):
     def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
         """True when the transformation can safely be applied to ``node``."""
 
-    @abstractmethod
     def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
         """Rewrite the graph in place and return the record of the rewriting.
 
-        Raises :class:`~repro.core.errors.NotApplicableError` when the random
+        The default implementation draws the fully parameterized record
+        (:meth:`draw`) and immediately replays it (:meth:`replay`) — one code
+        path for random application and deterministic replay.  Raises
+        :class:`~repro.core.errors.NotApplicableError` when the random
         parameters drawn cannot satisfy the constraints (callers treat this as
         a skipped application).
 
-        Every concrete ``apply`` is automatically wrapped (see
-        ``__init_subclass__``) to drop the graph's cached codec plan after the
-        rewrite: the plan cache is keyed by graph identity, so an in-place
-        mutation would otherwise leave codecs executing against the
-        pre-transformation plan.
+        Subclasses overriding ``apply`` directly are automatically wrapped
+        (see ``__init_subclass__``) to drop the graph's cached codec plan
+        after the rewrite; the default implementation invalidates through
+        :meth:`replay`.  Such subclasses do not support deterministic replay
+        unless they also implement :meth:`_replay`.
         """
+        record = self.draw(graph, node, rng)
+        self.replay(graph, record)
+        return record
+
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        """Make every random decision and return the fully parameterized record.
+
+        ``draw`` must not mutate the graph (transient attempt-and-revert
+        probing, as in ChildMove, is permitted as long as the graph is
+        restored).  It allocates the names of the nodes the rewriting will
+        create (``record.created``) and stores every drawn parameter in
+        ``record.parameters`` — the record alone must suffice to replay the
+        transformation, the RNG is never consulted again.
+        """
+        raise NotImplementedError(
+            f"transformation {self.name!r} does not implement draw(); "
+            f"it cannot be captured into a replayable plan"
+        )
+
+    def replay(self, graph: FormatGraph, record: TransformationRecord) -> None:
+        """Deterministically re-apply a recorded transformation in place.
+
+        Resolves the record's target node and hands off to :meth:`_replay`.
+        The graph's cached codec plan is dropped afterwards — same hazard as
+        ``apply``: an in-place rewrite would otherwise leave codecs executing
+        against the pre-transformation plan.
+        """
+        if record.transformation != self.name:
+            raise TransformError(
+                f"record of {record.transformation!r} handed to "
+                f"transformation {self.name!r}"
+            )
+        node = graph.find(record.target)
+        if node is None:
+            raise TransformError(
+                f"cannot replay {record}: graph {graph.name!r} has no node "
+                f"named {record.target!r} (wrong source graph or out-of-order "
+                f"replay?)"
+            )
+        try:
+            self._replay(graph, node, record)
+        finally:
+            _invalidate_plan(graph)
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        """Rewrite ``node`` exactly as described by ``record`` (no RNG)."""
+        raise NotImplementedError(
+            f"transformation {self.name!r} does not implement _replay(); "
+            f"records of it cannot be replayed"
+        )
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)

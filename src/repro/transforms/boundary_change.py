@@ -49,16 +49,26 @@ class BoundaryChange(Transformation):
             return False
         return not parent_is_synthesis(node)
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        prefix = graph.fresh_name(f"{node.name}_len")
+        wrapper = graph.fresh_name(f"{node.name}_framed")
+        return self.record(
+            node, created=(wrapper, prefix), prefix_width=self._PREFIX_WIDTH
+        )
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        wrapper_name, prefix_name = record.created
+        prefix_width = int(record.parameters["prefix_width"])
         prefix = Node(
-            graph.fresh_name(f"{node.name}_len"),
+            prefix_name,
             NodeType.TERMINAL,
-            Boundary.fixed(self._PREFIX_WIDTH),
+            Boundary.fixed(prefix_width),
             value_kind=ValueKind.UINT,
             doc=f"derived length of {node.name}",
         )
         wrapper = Node(
-            graph.fresh_name(f"{node.name}_framed"),
+            wrapper_name,
             NodeType.SEQUENCE,
             Boundary.delegated(),
             doc=f"BoundaryChange of {node.name}",
@@ -67,6 +77,3 @@ class BoundaryChange(Transformation):
         wrapper.add_child(prefix)
         node.boundary = Boundary.length(prefix.name)
         wrapper.add_child(node)
-        return self.record(
-            node, created=(wrapper.name, prefix.name), prefix_width=self._PREFIX_WIDTH
-        )

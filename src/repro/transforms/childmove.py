@@ -37,11 +37,13 @@ class ChildMove(Transformation):
             and len(node.children) >= 2
         )
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
         count = len(node.children)
         pairs = [(i, j) for i in range(count) for j in range(i + 1, count)]
         rng.shuffle(pairs)
         for first, second in pairs[: self._MAX_ATTEMPTS]:
+            # Attempt the permutation to validate it, then revert: the actual
+            # rewrite happens in _replay, driven by the recorded positions.
             node.children[first], node.children[second] = (
                 node.children[second],
                 node.children[first],
@@ -49,18 +51,30 @@ class ChildMove(Transformation):
             try:
                 validate_graph(graph)
             except GraphError:
-                # Revert the permutation: it broke a dependency ordering.
                 node.children[first], node.children[second] = (
                     node.children[second],
                     node.children[first],
                 )
                 continue
-            return self.record(
+            record = self.record(
                 node,
                 first=node.children[first].name,
                 second=node.children[second].name,
                 positions=(first, second),
             )
+            node.children[first], node.children[second] = (
+                node.children[second],
+                node.children[first],
+            )
+            return record
         raise NotApplicableError(
             f"no dependency-preserving permutation found for sequence {node.name!r}"
+        )
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        first, second = (int(position) for position in record.parameters["positions"])
+        node.children[first], node.children[second] = (
+            node.children[second],
+            node.children[first],
         )

@@ -44,16 +44,29 @@ class _ConstTransformation(Transformation):
         # BYTES / TEXT: byte-wise operation, unsafe on delimited fields.
         return node.boundary.kind is not BoundaryKind.DELIMITED
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
         if node.value_kind is ValueKind.UINT:
             width = node.boundary.size or 1
             constant = rng.randrange(1, 1 << (8 * width))
-            op = ValueOp(self.op_kind, constant, bytewise=False, width=width)
-        else:
-            constant = rng.randrange(1, 256)
-            op = ValueOp(self.op_kind, constant, bytewise=True)
+            # ``width`` is recorded even though it is derivable from the
+            # target's boundary: records must be self-describing — replay
+            # never re-derives a drawn or drawn-dependent parameter.
+            return self.record(node, constant=constant, bytewise=False, width=width)
+        constant = rng.randrange(1, 256)
+        return self.record(node, constant=constant, bytewise=True, width=None)
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        constant = int(record.parameters["constant"])
+        bytewise = bool(record.parameters["bytewise"])
+        width = record.parameters.get("width")
+        if not bytewise and width is None:
+            # Records written before the width was captured: derive it the way
+            # the original draw did.
+            width = node.boundary.size or 1
+        op = ValueOp(self.op_kind, constant, bytewise=bytewise,
+                     width=None if bytewise else int(width))
         node.codec_chain = node.codec_chain + (op,)
-        return self.record(node, constant=constant, bytewise=op.bytewise)
 
 
 class ConstAdd(_ConstTransformation):

@@ -20,6 +20,7 @@ from ..core.errors import NotApplicableError, TransformError
 from ..core.graph import FormatGraph
 from ..core.validate import validate_graph
 from .base import Transformation, TransformationRecord
+from .plan import ObfuscationPlan, extract_plan
 from .registry import default_transformations
 
 
@@ -36,6 +37,19 @@ class ObfuscationResult:
     def applied_count(self) -> int:
         """Total number of transformations effectively applied (paper "Nb. transf. applied")."""
         return len(self.records)
+
+    def plan(self) -> ObfuscationPlan:
+        """The run's :class:`~repro.transforms.plan.ObfuscationPlan` — the keyed artifact.
+
+        Replaying the returned plan on a fresh clone of ``original`` yields a
+        graph bit-identical to ``self.graph``.  The obfuscated graph is
+        stamped with the plan's fingerprint as a side effect, so the
+        originating run and every replay of the plan share one compiled
+        codec-plan cache slot.
+        """
+        plan = extract_plan(self.original, self.records)
+        self.graph.plan_fingerprint = plan.fingerprint
+        return plan
 
     def count_by_transformation(self) -> dict[str, int]:
         """Number of applications of each transformation."""

@@ -40,6 +40,9 @@ class ReadFromEnd(Transformation):
             return parse_window_known(node)
         return parse_window_known(node)
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
-        node.mirrored = True
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
         return self.record(node)
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        node.mirrored = True

@@ -40,7 +40,7 @@ class PadInsert(Transformation):
             and len(self._valid_positions(node)) > 0
         )
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
         positions = self._valid_positions(node)
         if not positions:
             raise NotApplicableError(
@@ -48,8 +48,15 @@ class PadInsert(Transformation):
             )
         size = rng.randint(self._MIN_SIZE, self._MAX_SIZE)
         position = rng.choice(positions)
+        pad = graph.fresh_name(f"{node.name}_pad")
+        return self.record(node, created=(pad,), size=size, position=position)
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        size = int(record.parameters["size"])
+        position = int(record.parameters["position"])
         pad = Node(
-            graph.fresh_name(f"{node.name}_pad"),
+            record.created[0],
             NodeType.TERMINAL,
             Boundary.fixed(size),
             value_kind=ValueKind.BYTES,
@@ -57,7 +64,6 @@ class PadInsert(Transformation):
             doc=f"random padding inserted into {node.name}",
         )
         node.insert_child(position, pad)
-        return self.record(node, created=(pad.name,), size=size, position=position)
 
     @staticmethod
     def _valid_positions(node: Node) -> list[int]:

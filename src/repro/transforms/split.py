@@ -70,24 +70,38 @@ class _ArithmeticSplit(Transformation):
             and (node.boundary.size or 0) > 0
         )
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
         width = node.boundary.size or 1
+        first = graph.fresh_name(f"{node.name}_share")
+        second = graph.fresh_name(f"{node.name}_share")
+        replacement = graph.fresh_name(f"{node.name}_split")
+        return self.record(
+            node,
+            created=(replacement, first, second),
+            width=width,
+            operation=self.synthesis_op.value,
+        )
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        width = int(record.parameters["width"])
+        replacement_name, first_name, second_name = record.created
         first = Node(
-            graph.fresh_name(f"{node.name}_share"),
+            first_name,
             NodeType.TERMINAL,
             Boundary.fixed(width),
             value_kind=ValueKind.UINT,
             endian=node.endian,
         )
         second = Node(
-            graph.fresh_name(f"{node.name}_share"),
+            second_name,
             NodeType.TERMINAL,
             Boundary.fixed(width),
             value_kind=ValueKind.UINT,
             endian=node.endian,
         )
         replacement = Node(
-            graph.fresh_name(f"{node.name}_split"),
+            replacement_name,
             NodeType.SEQUENCE,
             Boundary.delegated(),
             children=[first, second],
@@ -96,12 +110,6 @@ class _ArithmeticSplit(Transformation):
             doc=f"{self.name} of {node.name}",
         )
         replace_node(graph, node, replacement)
-        return self.record(
-            node,
-            created=(replacement.name, first.name, second.name),
-            width=width,
-            operation=self.synthesis_op.value,
-        )
 
 
 class SplitAdd(_ArithmeticSplit):
@@ -148,34 +156,55 @@ class SplitCat(Transformation):
             BoundaryKind.END,
         )
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
         if node.boundary.kind is BoundaryKind.FIXED:
-            return self._apply_fixed(graph, node, rng)
-        return self._apply_variable(graph, node, rng)
+            size = node.boundary.size or 0
+            if size < 2:
+                raise NotApplicableError(f"terminal {node.name!r} is too small to split")
+            cut = rng.randint(1, size - 1)
+            first = graph.fresh_name(f"{node.name}_part")
+            second = graph.fresh_name(f"{node.name}_part")
+            replacement = graph.fresh_name(f"{node.name}_split")
+            return self.record(node, created=(replacement, first, second), cut=cut)
+        prefix = graph.fresh_name(f"{node.name}_part_len")
+        first = graph.fresh_name(f"{node.name}_part")
+        second = graph.fresh_name(f"{node.name}_part")
+        replacement = graph.fresh_name(f"{node.name}_split")
+        return self.record(
+            node,
+            created=(replacement, prefix, first, second),
+            prefix_width=self._PREFIX_WIDTH,
+        )
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        if node.boundary.kind is BoundaryKind.FIXED:
+            self._replay_fixed(graph, node, record)
+        else:
+            self._replay_variable(graph, node, record)
 
     # -- fixed-size fields: static cut position -------------------------------
 
-    def _apply_fixed(self, graph: FormatGraph, node: Node, rng: Random
-                     ) -> TransformationRecord:
+    def _replay_fixed(self, graph: FormatGraph, node: Node,
+                      record: TransformationRecord) -> None:
         size = node.boundary.size or 0
-        if size < 2:
-            raise NotApplicableError(f"terminal {node.name!r} is too small to split")
-        cut = rng.randint(1, size - 1)
+        cut = int(record.parameters["cut"])
         assert node.value_kind is not None
+        replacement_name, first_name, second_name = record.created
         first = Node(
-            graph.fresh_name(f"{node.name}_part"),
+            first_name,
             NodeType.TERMINAL,
             Boundary.fixed(cut),
             value_kind=node.value_kind,
         )
         second = Node(
-            graph.fresh_name(f"{node.name}_part"),
+            second_name,
             NodeType.TERMINAL,
             Boundary.fixed(size - cut),
             value_kind=node.value_kind,
         )
         replacement = Node(
-            graph.fresh_name(f"{node.name}_split"),
+            replacement_name,
             NodeType.SEQUENCE,
             Boundary.delegated(),
             children=[first, second],
@@ -185,36 +214,35 @@ class SplitCat(Transformation):
             doc=f"SplitCat of {node.name} at offset {cut}",
         )
         replace_node(graph, node, replacement)
-        return self.record(
-            node, created=(replacement.name, first.name, second.name), cut=cut
-        )
 
     # -- variable-size fields: per-message cut behind a length prefix ---------
 
-    def _apply_variable(self, graph: FormatGraph, node: Node, rng: Random
-                        ) -> TransformationRecord:
+    def _replay_variable(self, graph: FormatGraph, node: Node,
+                         record: TransformationRecord) -> None:
         assert node.value_kind is not None
+        prefix_width = int(record.parameters["prefix_width"])
+        replacement_name, prefix_name, first_name, second_name = record.created
         prefix = Node(
-            graph.fresh_name(f"{node.name}_part_len"),
+            prefix_name,
             NodeType.TERMINAL,
-            Boundary.fixed(self._PREFIX_WIDTH),
+            Boundary.fixed(prefix_width),
             value_kind=ValueKind.UINT,
         )
         first = Node(
-            graph.fresh_name(f"{node.name}_part"),
+            first_name,
             NodeType.TERMINAL,
             Boundary.length(prefix.name),
             value_kind=node.value_kind,
         )
         second_boundary, sequence_boundary = self._tail_boundaries(node)
         second = Node(
-            graph.fresh_name(f"{node.name}_part"),
+            second_name,
             NodeType.TERMINAL,
             second_boundary,
             value_kind=node.value_kind,
         )
         replacement = Node(
-            graph.fresh_name(f"{node.name}_split"),
+            replacement_name,
             NodeType.SEQUENCE,
             sequence_boundary,
             children=[prefix, first, second],
@@ -223,11 +251,6 @@ class SplitCat(Transformation):
             doc=f"SplitCat of {node.name} behind a length prefix",
         )
         replace_node(graph, node, replacement)
-        return self.record(
-            node,
-            created=(replacement.name, prefix.name, first.name, second.name),
-            prefix_width=self._PREFIX_WIDTH,
-        )
 
     @staticmethod
     def _tail_boundaries(node: Node) -> tuple[Boundary, Boundary]:

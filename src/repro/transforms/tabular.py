@@ -41,24 +41,30 @@ def _splittable_element(node: Node) -> bool:
     )
 
 
-def _column_tabulars(graph: FormatGraph, node: Node, counter: str) -> tuple[list[Node], list[str]]:
-    """Build one Tabular node per column of the repeated element sequence."""
+def _draw_column_names(graph: FormatGraph, node: Node) -> list[str]:
+    """Allocate one fresh column name per child of the repeated element."""
+    return [graph.fresh_name(f"{node.name}_col") for _ in node.children[0].children]
+
+
+def _build_columns(node: Node, counter: str, names: list[str]) -> list[Node]:
+    """Build one Tabular node per column of the repeated element sequence.
+
+    Detaches the element's children and wraps each in a Tabular carrying the
+    recorded name at the same position.
+    """
     element = node.children[0]
     columns: list[Node] = []
-    created: list[str] = []
-    for child in list(element.children):
+    for name, child in zip(names, list(element.children)):
         element.remove_child(child)
-        column = Node(
-            graph.fresh_name(f"{node.name}_col"),
+        columns.append(Node(
+            name,
             NodeType.TABULAR,
             Boundary.counter(counter),
             children=[child],
             origin=node.origin,
             doc=f"column {child.name} of {node.name}",
-        )
-        columns.append(column)
-        created.append(column.name)
-    return columns, created
+        ))
+    return columns
 
 
 class TabSplit(Transformation):
@@ -75,20 +81,24 @@ class TabSplit(Transformation):
             and _splittable_element(node)
         )
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+        columns = _draw_column_names(graph, node)
+        replacement = graph.fresh_name(f"{node.name}_columns")
+        return self.record(node, created=(replacement, *columns), columns=len(columns))
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
         counter = node.boundary.ref or ""
-        columns, created = _column_tabulars(graph, node, counter)
+        replacement_name, *column_names = record.created
+        columns = _build_columns(node, counter, column_names)
         replacement = Node(
-            graph.fresh_name(f"{node.name}_columns"),
+            replacement_name,
             NodeType.SEQUENCE,
             Boundary.delegated(),
             children=columns,
             doc=f"TabSplit of {node.name}",
         )
         replace_node(graph, node, replacement)
-        return self.record(
-            node, created=(replacement.name, *created), columns=len(columns)
-        )
 
 
 class RepSplit(Transformation):
@@ -103,38 +113,49 @@ class RepSplit(Transformation):
     def is_applicable(self, graph: FormatGraph, node: Node) -> bool:
         return node.type is NodeType.REPETITION and _splittable_element(node)
 
-    def apply(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
+    def draw(self, graph: FormatGraph, node: Node, rng: Random) -> TransformationRecord:
         created: list[str] = []
+        if node.boundary.kind is not BoundaryKind.COUNTER:
+            created.append(graph.fresh_name(f"{node.name}_count"))
+        columns = _draw_column_names(graph, node)
+        created.extend(columns)
+        replacement = graph.fresh_name(f"{node.name}_columns")
+        return self.record(
+            node,
+            created=(replacement, *created),
+            columns=len(columns),
+            count_width=self._COUNT_WIDTH,
+        )
+
+    def _replay(self, graph: FormatGraph, node: Node,
+                record: TransformationRecord) -> None:
+        names = list(record.created)
+        replacement_name = names.pop(0)
         children: list[Node] = []
         if node.boundary.kind is BoundaryKind.COUNTER:
             counter = node.boundary.ref or ""
             sequence_boundary = Boundary.delegated()
         else:
+            width = int(record.parameters.get("count_width", self._COUNT_WIDTH))
             count_field = Node(
-                graph.fresh_name(f"{node.name}_count"),
+                names.pop(0),
                 NodeType.TERMINAL,
-                Boundary.fixed(self._COUNT_WIDTH),
+                Boundary.fixed(width),
                 value_kind=ValueKind.UINT,
                 doc=f"derived element count of {node.name}",
             )
             children.append(count_field)
-            created.append(count_field.name)
             counter = count_field.name
             sequence_boundary = self._carried_boundary(node)
-        columns, column_names = _column_tabulars(graph, node, counter)
-        children.extend(columns)
-        created.extend(column_names)
+        children.extend(_build_columns(node, counter, names))
         replacement = Node(
-            graph.fresh_name(f"{node.name}_columns"),
+            replacement_name,
             NodeType.SEQUENCE,
             sequence_boundary,
             children=children,
             doc=f"RepSplit of {node.name}",
         )
         replace_node(graph, node, replacement)
-        return self.record(
-            node, created=(replacement.name, *created), columns=len(columns)
-        )
 
     @staticmethod
     def _carried_boundary(node: Node) -> Boundary:

@@ -17,12 +17,20 @@ source paper applies to its generated C++ parsers:
   fused, with byte-translation tables for byte-wise chains),
 * pre-encoded delimiters and fixed-width length-slot templates.
 
-Plans are cached per graph *identity* (:func:`plan_for`) and invalidated when
-a transformation rewrites the graph in place (the obfuscation engine calls
-:func:`invalidate` after every applied transformation).  A plan never holds a
-reference to the graph or its nodes — only names, primitives and closures over
-immutable node attributes — so the cache cannot leak graphs and a plan can
-never observe a node mutated after compilation.
+Plans are cached at two levels (:func:`plan_for`).  Graphs stamped with an
+obfuscation-plan fingerprint (``graph.plan_fingerprint``, set by
+:meth:`repro.transforms.plan.ObfuscationPlan.replay` and
+:meth:`~repro.transforms.engine.ObfuscationResult.plan`) are keyed by that
+fingerprint — a value stable across replays and across processes — so every
+replay of one plan shares a single compiled slot instead of compiling per
+graph object.  Unstamped graphs fall back to caching per graph *identity*.
+Both levels are invalidated when a transformation rewrites the graph in place
+(the obfuscation engine calls :func:`invalidate` after every applied
+transformation, which also clears the stamp: a mutated graph no longer is the
+format its plan fingerprint names).  A plan never holds a reference to the
+graph or its nodes — only names, primitives and closures over immutable node
+attributes — so the cache cannot leak graphs and a plan can never observe a
+node mutated after compilation.
 """
 
 from __future__ import annotations
@@ -728,15 +736,38 @@ def compile_plan(graph: FormatGraph) -> CodecPlan:
 # the shared plan cache
 # ---------------------------------------------------------------------------
 
-#: Plans keyed by graph identity.  Plans hold no reference to their graph, so
-#: entries are evicted as soon as the graph itself is garbage collected.
+#: Plans keyed by graph identity (unstamped graphs).  Plans hold no reference
+#: to their graph, so entries are evicted as soon as the graph itself is
+#: garbage collected.
 _PLAN_CACHE: "weakref.WeakKeyDictionary[FormatGraph, CodecPlan]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: Plans keyed by obfuscation-plan fingerprint (stamped graphs).  The key is
+#: content-derived, so two replays of the same plan — different graph objects,
+#: different processes compiling independently — resolve to one slot.  Bounded
+#: FIFO: rotation workloads cycle through many plans, and an unbounded
+#: content-keyed dict would never evict.
+_FINGERPRINT_PLANS: "dict[str, CodecPlan]" = {}
+_FINGERPRINT_CAPACITY = 64
+
 
 def plan_for(graph: FormatGraph) -> CodecPlan:
-    """Cached plan of ``graph``; compiled on first use."""
+    """Cached plan of ``graph``; compiled on first use.
+
+    Stamped graphs (``graph.plan_fingerprint`` set by the obfuscation-plan
+    layer) share their compiled plan with every other graph replayed from the
+    same plan; unstamped graphs are cached per object identity.
+    """
+    fingerprint = getattr(graph, "plan_fingerprint", None)
+    if fingerprint is not None:
+        plan = _FINGERPRINT_PLANS.get(fingerprint)
+        if plan is None:
+            plan = compile_plan(graph)
+            while len(_FINGERPRINT_PLANS) >= _FINGERPRINT_CAPACITY:
+                _FINGERPRINT_PLANS.pop(next(iter(_FINGERPRINT_PLANS)))
+            _FINGERPRINT_PLANS[fingerprint] = plan
+        return plan
     plan = _PLAN_CACHE.get(graph)
     if plan is None:
         plan = compile_plan(graph)
@@ -747,11 +778,18 @@ def plan_for(graph: FormatGraph) -> CodecPlan:
 def invalidate(graph: FormatGraph) -> bool:
     """Drop the cached plan of ``graph`` (after an in-place transformation).
 
-    Returns True when a cached plan was actually dropped.
+    Clears the graph's plan-fingerprint stamp as well: a mutated graph is no
+    longer the format its fingerprint names.  The fingerprint-keyed slot
+    itself stays — other replays of the same plan remain valid.  Returns True
+    when a cached plan or a stamp was actually dropped.
     """
-    return _PLAN_CACHE.pop(graph, None) is not None
+    dropped = _PLAN_CACHE.pop(graph, None) is not None
+    if getattr(graph, "plan_fingerprint", None) is not None:
+        graph.plan_fingerprint = None
+        dropped = True
+    return dropped
 
 
 def cached_plan_count() -> int:
     """Number of live cached plans (diagnostics and tests)."""
-    return len(_PLAN_CACHE)
+    return len(_PLAN_CACHE) + len(_FINGERPRINT_PLANS)

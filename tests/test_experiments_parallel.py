@@ -38,7 +38,7 @@ def test_deterministic_signature_excludes_wall_clock_fields():
 def test_worker_task_reproduces_in_process_run():
     runner = ExperimentRunner("modbus", seed=7, runs_per_level=2, messages_per_run=3)
     direct = runner.run_once(passes=2, run_index=1)
-    via_task = _run_once_task("modbus", 7, 3, None, None, 2, 1)
+    via_task = _run_once_task("modbus", 7, 3, None, None, None, 2, 1)
     assert direct.deterministic_signature() == via_task.deterministic_signature()
 
 

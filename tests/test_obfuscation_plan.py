@@ -1,0 +1,266 @@
+"""Obfuscation plans: replay equivalence, serialization, fingerprint caching.
+
+The core property (ISSUE 5 acceptance): for every registry protocol graph ×
+obfuscation levels 0–4 × several seeds, the plan extracted from an engine
+run, round-tripped through JSON, and replayed on a fresh clone of the plain
+graph yields a bit-identical result — same canonical graph signature, same
+generated module source, same wire bytes on fuzzed message corpora.  Replay
+never consults an RNG, which is what flushes out any transformation
+under-recording its random draws.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.fingerprint import graph_fingerprint, graph_signature
+from repro.codegen import generate_module, generate_module_from_plan
+from repro.experiments import ExperimentRunner
+from repro.protocols import registry
+from repro.spec import dump_plan, load_plan, load_plan_text, save_plan, write_spec
+from repro.transforms import (
+    ObfuscationPlan,
+    PlanError,
+    TransformationRecord,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.transforms.engine import Obfuscator
+from repro.wire.codec import WireCodec
+from repro.wire.plan import plan_for
+
+LEVELS = range(5)
+SEEDS = (0, 11, 29)
+
+
+# ---------------------------------------------------------------------------
+# the replay-equivalence property
+# ---------------------------------------------------------------------------
+
+
+def test_plan_replay_is_bit_identical(protocol_case):
+    """Engine run → plan → JSON → replay on a fresh plain clone: identical."""
+    name, factory, generator = protocol_case
+    for passes in LEVELS:
+        for seed in SEEDS:
+            result = Obfuscator(seed=seed).obfuscate(factory(), passes)
+            plan = result.plan()
+            restored = ObfuscationPlan.from_json(plan.to_json())
+            assert restored.fingerprint == plan.fingerprint
+            assert len(restored) == result.applied_count
+
+            replayed = restored.replay(factory())
+            assert graph_signature(replayed) == graph_signature(result.graph)
+            assert replayed.plan_fingerprint == plan.fingerprint
+
+            message_rng = Random(seed * 977 + passes)
+            corpus = [generator(message_rng) for _ in range(6)]
+            original_codec = WireCodec(result.graph, seed=41)
+            replayed_codec = WireCodec(replayed, seed=41)
+            for message in corpus:
+                data = original_codec.serialize(message)
+                assert replayed_codec.serialize(message) == data
+                assert replayed_codec.parse(data) == original_codec.parse(data)
+
+
+def test_plan_replay_generated_module_source_identical(protocol_case):
+    """Generated library emitted from plain spec + plan matches the engine run's."""
+    name, factory, generator = protocol_case
+    result = Obfuscator(seed=5).obfuscate(factory(), 3)
+    plan = result.plan()  # stamps result.graph with the plan fingerprint
+    original_source = generate_module(result.graph)
+    replayed_source = generate_module_from_plan(factory(), plan)
+    assert replayed_source == original_source
+    assert f"__plan_fingerprint__ = '{plan.fingerprint}'" in original_source
+
+
+def test_level_zero_plan_replays_to_the_plain_spec_text(protocol_case):
+    """An empty plan replays to a graph whose DSL rendering is unchanged."""
+    name, factory, generator = protocol_case
+    result = Obfuscator(seed=1).obfuscate(factory(), 0)
+    plan = result.plan()
+    assert len(plan) == 0
+    replayed = plan.replay(factory())
+    assert write_spec(replayed) == write_spec(factory())
+
+
+# ---------------------------------------------------------------------------
+# record and plan (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def test_record_round_trip_normalizes_tuples():
+    records = Obfuscator(seed=3).obfuscate(
+        registry.get("modbus").graph_factory(), 2).records
+    assert records
+    for record in records:
+        payload = record_to_dict(record)
+        restored = record_from_dict(payload)
+        assert restored.transformation == record.transformation
+        assert restored.target == record.target
+        assert restored.created == record.created
+        # Tuples become lists in the canonical form; both replay identically.
+        assert record_to_dict(restored) == payload
+
+
+def test_fingerprint_is_stable_across_json_round_trips():
+    result = Obfuscator(seed=9).obfuscate(registry.get("http").graph_factory(), 2)
+    plan = result.plan()
+    hops = ObfuscationPlan.from_json(
+        ObfuscationPlan.from_json(plan.to_json()).to_json(indent=2))
+    assert hops.fingerprint == plan.fingerprint
+
+
+def test_replay_rejects_a_mismatching_source_graph():
+    modbus_plan = Obfuscator(seed=2).obfuscate(
+        registry.get("modbus").graph_factory(), 1).plan()
+    with pytest.raises(PlanError, match="does not match"):
+        modbus_plan.replay(registry.get("http").graph_factory())
+    # strict=False replays anyway when the node names happen to resolve.
+    http_plan = Obfuscator(seed=2).obfuscate(
+        registry.get("http").graph_factory(), 1).plan()
+    relaxed = http_plan.replay(registry.get("http").graph_factory(), strict=False)
+    assert relaxed.plan_fingerprint == http_plan.fingerprint
+
+
+def test_relaxed_replay_on_a_divergent_source_is_not_stamped():
+    """strict=False on a mismatched source must not alias the codec-plan cache."""
+    from repro.core.values import Endian
+
+    setup = registry.get("modbus")
+    plan = Obfuscator(seed=2).obfuscate(setup.graph_factory(), 1).plan()
+    genuine = plan.replay(setup.graph_factory())
+    # Same node names, different wire format: a spec revision the plan's
+    # source fingerprint no longer matches.
+    divergent_source = setup.graph_factory()
+    terminal = next(node for node in divergent_source.terminals()
+                    if node.endian is Endian.BIG)
+    terminal.endian = Endian.LITTLE
+    divergent = plan.replay(divergent_source, strict=False)
+    assert genuine.plan_fingerprint == plan.fingerprint
+    assert divergent.plan_fingerprint is None
+    assert graph_signature(divergent) != graph_signature(genuine)
+    assert plan_for(divergent) is not plan_for(genuine)
+
+
+def test_unknown_transformation_and_malformed_payloads():
+    from repro.transforms import TransformationCategory
+
+    plain = registry.get("modbus").graph_factory()
+    bogus = ObfuscationPlan(
+        source=plain.name,
+        source_fingerprint=graph_fingerprint(plain),
+        records=(TransformationRecord(
+            transformation="NoSuchTransform",
+            category=TransformationCategory.AGGREGATION,
+            target=plain.root.name,
+        ),),
+    )
+    with pytest.raises(PlanError, match="unknown transformation"):
+        bogus.replay(registry.get("modbus").graph_factory())
+    with pytest.raises(PlanError, match="format"):
+        ObfuscationPlan.from_dict({"format": "something-else"})
+    with pytest.raises(PlanError, match="JSON"):
+        ObfuscationPlan.from_json("{nope")
+
+
+# ---------------------------------------------------------------------------
+# plan files
+# ---------------------------------------------------------------------------
+
+
+def test_plan_file_save_load_round_trip(tmp_path):
+    plan = Obfuscator(seed=4).obfuscate(registry.get("dns").graph_factory(), 2).plan()
+    path = save_plan(plan, tmp_path / "dns.plan.json")
+    loaded = load_plan(path)
+    assert loaded.fingerprint == plan.fingerprint
+    assert loaded.records == tuple(
+        record_from_dict(record_to_dict(record)) for record in plan.records
+    )
+
+
+def test_plan_file_rejects_tampered_content(tmp_path):
+    plan = Obfuscator(seed=4).obfuscate(registry.get("modbus").graph_factory(), 1).plan()
+    text = dump_plan(plan)
+    tampered = text.replace(f'"{plan.source_fingerprint}"', f'"{"0" * 64}"', 1)
+    assert tampered != text
+    with pytest.raises(PlanError, match="fingerprint mismatch"):
+        load_plan_text(tampered)
+
+
+def test_plan_file_rejects_a_stripped_fingerprint():
+    """Deleting the fingerprint field must not bypass the integrity check."""
+    import json
+
+    plan = Obfuscator(seed=4).obfuscate(registry.get("modbus").graph_factory(), 1).plan()
+    payload = json.loads(dump_plan(plan))
+    del payload["fingerprint"]
+    with pytest.raises(PlanError, match="no fingerprint"):
+        load_plan_text(json.dumps(payload))
+
+
+# ---------------------------------------------------------------------------
+# fingerprint-keyed codec-plan cache
+# ---------------------------------------------------------------------------
+
+
+def test_replays_of_one_plan_share_a_compiled_codec_plan():
+    setup = registry.get("modbus")
+    plan = Obfuscator(seed=6).obfuscate(setup.graph_factory(), 2).plan()
+    first = plan.replay(setup.graph_factory())
+    second = plan.replay(setup.graph_factory())
+    assert first is not second
+    assert first.plan_fingerprint == second.plan_fingerprint
+    assert plan_for(first) is plan_for(second)
+
+
+def test_invalidate_clears_the_stamp_on_in_place_mutation():
+    from repro.transforms.const import ConstXor
+    from repro.wire.plan import invalidate
+
+    setup = registry.get("modbus")
+    plan = Obfuscator(seed=6).obfuscate(setup.graph_factory(), 1).plan()
+    graph = plan.replay(setup.graph_factory())
+    shared = plan_for(graph)
+    transformation = ConstXor()
+    node = next(n for n in graph.nodes() if transformation.is_applicable(graph, n))
+    transformation.apply(graph, node, Random(8))
+    # The stamp is gone: the graph no longer is the format the plan names.
+    assert graph.plan_fingerprint is None
+    fresh = plan_for(graph)
+    assert fresh is not shared
+    assert invalidate(graph) is True
+    assert invalidate(graph) is False
+    # Other replays of the plan keep the shared fingerprint-keyed slot.
+    assert plan_for(plan.replay(setup.graph_factory())) is shared
+
+
+# ---------------------------------------------------------------------------
+# experiment runner replay mode
+# ---------------------------------------------------------------------------
+
+
+def test_runner_reuse_plan_replays_run_zero_dialect():
+    engine = ExperimentRunner("modbus", seed=13, runs_per_level=3, messages_per_run=3)
+    replay = ExperimentRunner("modbus", seed=13, runs_per_level=3, messages_per_run=3,
+                              reuse_plan=True)
+    engine_runs = engine.run_level(2)
+    replay_runs = replay.run_level(2)
+    # Run 0 replays the dialect engine mode's run 0 drew; later replay runs
+    # reuse it (one potency value per level) while engine mode re-draws.
+    assert replay_runs[0].potency == engine_runs[0].potency
+    assert replay_runs[0].applied == engine_runs[0].applied
+    assert replay_runs[0].buffer_size == engine_runs[0].buffer_size
+    assert len({run.potency for run in replay_runs}) == 1
+
+
+def test_runner_reuse_plan_parallel_matches_sequential():
+    sequential = ExperimentRunner("modbus", seed=17, runs_per_level=3,
+                                  messages_per_run=3, reuse_plan=True)
+    parallel = ExperimentRunner("modbus", seed=17, runs_per_level=3,
+                                messages_per_run=3, reuse_plan=True,
+                                parallel=True, max_workers=2)
+    assert ([run.deterministic_signature() for run in sequential.run_level(1)]
+            == [run.deterministic_signature() for run in parallel.run_level(1)])
