@@ -1,0 +1,230 @@
+"""Obfuscation plans: the transformed format as a first-class keyed artifact.
+
+In the paper's threat model the obfuscated specification *is* the shared
+secret: two endpoints interoperate exactly when they hold the same transformed
+format, and the scheme's strength comes from being able to change it.  An
+:class:`ObfuscationPlan` materializes that secret as data — an ordered,
+JSON-(de)serializable sequence of fully parameterized transformation
+applications plus the fingerprint of the plain source graph — instead of as a
+side effect of re-running the :class:`~repro.transforms.engine.Obfuscator`
+with a shared RNG seed.
+
+Because every :class:`~repro.transforms.base.Transformation` applies through
+the ``draw`` → ``replay`` split (the random path and the deterministic path
+share one rewriting code path), a plan extracted from any engine run replays
+on a fresh clone of the plain graph to a bit-identical result: same graph,
+same generated module source, same wire bytes.  Plans can therefore be
+persisted (:mod:`repro.spec.planfile`), shipped to a peer, diffed, registered
+in a plan book for mid-session rotation (:mod:`repro.net.rotation`), and
+replayed instead of re-derived by the experiment harness.
+
+``plan.fingerprint`` names the transformed format; replayed graphs are
+stamped with it so the codec-plan cache (:mod:`repro.wire.plan`) can key
+compiled plans by a value that is stable across replays and processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Iterator
+
+from ..core.errors import TransformError
+from ..core.fingerprint import graph_fingerprint
+from ..core.graph import FormatGraph
+from ..core.validate import validate_graph
+from .base import Transformation, TransformationCategory, TransformationRecord
+from .registry import by_name
+
+#: Version tag of the serialized plan layout.
+PLAN_FORMAT = "repro/obfuscation-plan@1"
+
+
+class PlanError(TransformError):
+    """A plan could not be built, serialized, deserialized or replayed."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON form of a record parameter (tuples → lists, bytes tagged)."""
+    if isinstance(value, dict):
+        return {key: _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(entry) for entry in value]
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise PlanError(f"record parameter of type {type(value).__name__} is not plan-serializable")
+
+
+def _unjsonable(value: Any) -> Any:
+    """Inverse of :func:`_jsonable` (tagged bytes only; lists stay lists)."""
+    if isinstance(value, dict):
+        if set(value) == {"__bytes__"}:
+            return bytes.fromhex(value["__bytes__"])
+        return {key: _unjsonable(entry) for key, entry in value.items()}
+    if isinstance(value, list):
+        return [_unjsonable(entry) for entry in value]
+    return value
+
+
+def record_to_dict(record: TransformationRecord) -> dict:
+    """Canonical JSON-safe dict of one transformation application."""
+    return {
+        "transformation": record.transformation,
+        "category": record.category.value,
+        "target": record.target,
+        "created": list(record.created),
+        "parameters": _jsonable(record.parameters),
+    }
+
+
+def record_from_dict(payload: dict) -> TransformationRecord:
+    """Rebuild a :class:`TransformationRecord` from its dict form."""
+    try:
+        return TransformationRecord(
+            transformation=str(payload["transformation"]),
+            category=TransformationCategory(payload["category"]),
+            target=str(payload["target"]),
+            created=tuple(str(name) for name in payload.get("created", ())),
+            parameters=_unjsonable(dict(payload.get("parameters", {}))),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanError(f"malformed transformation record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ObfuscationPlan:
+    """An ordered, replayable sequence of parameterized transformations.
+
+    ``source`` names the plain graph the plan was extracted from (the graph's
+    ``name``); ``source_fingerprint`` pins its exact content
+    (:func:`~repro.core.fingerprint.graph_fingerprint`), so replaying against
+    the wrong specification fails loudly instead of producing a subtly
+    different dialect.
+    """
+
+    source: str
+    source_fingerprint: str
+    records: tuple[TransformationRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TransformationRecord]:
+        return iter(self.records)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON body — the name of the transformed format.
+
+        Stable across JSON round-trips, replays and processes: a plan built
+        from live records (tuple parameters) and the same plan re-loaded from
+        disk (list parameters) hash identically.
+        """
+        body = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe dict (fingerprint excluded — it hashes this)."""
+        return {
+            "format": PLAN_FORMAT,
+            "source": self.source,
+            "source_fingerprint": self.source_fingerprint,
+            "records": [record_to_dict(record) for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ObfuscationPlan":
+        declared = payload.get("format", PLAN_FORMAT)
+        if declared != PLAN_FORMAT:
+            raise PlanError(
+                f"unsupported plan format {declared!r} (expected {PLAN_FORMAT!r})"
+            )
+        try:
+            return cls(
+                source=str(payload["source"]),
+                source_fingerprint=str(payload["source_fingerprint"]),
+                records=tuple(
+                    record_from_dict(entry) for entry in payload.get("records", ())
+                ),
+            )
+        except (KeyError, TypeError) as exc:
+            raise PlanError(f"malformed obfuscation plan: {exc}") from exc
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ObfuscationPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise PlanError(f"plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise PlanError("plan JSON must be an object")
+        return cls.from_dict(payload)
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self, graph: FormatGraph, *, strict: bool = True,
+               validate: bool = True) -> FormatGraph:
+        """Deterministically re-apply the plan to a clone of the plain ``graph``.
+
+        ``strict`` checks the graph against ``source_fingerprint`` first;
+        ``validate`` re-validates the final graph (each step was validated by
+        the originating engine run, so one final pass suffices).  The returned
+        graph is stamped with this plan's fingerprint — keying its compiled
+        codec plan to a value shared by every replay of the same plan — but
+        **only when the source graph matched**: a ``strict=False`` replay on
+        a divergent source produces a different format, and stamping it would
+        alias its codec plan with the genuine dialect's.  (The source
+        fingerprint is therefore always computed; it is one pre-order walk
+        plus a hash, negligible next to the clone and replay.)
+        """
+        actual = graph_fingerprint(graph)
+        source_matches = actual == self.source_fingerprint
+        if strict and not source_matches:
+            raise PlanError(
+                f"plan for source {self.source!r} "
+                f"(fingerprint {self.source_fingerprint[:12]}…) does not "
+                f"match graph {graph.name!r} (fingerprint {actual[:12]}…); "
+                f"pass strict=False to replay anyway"
+            )
+        working = graph.clone()
+        transformations: dict[str, Transformation] = {}
+        for record in self.records:
+            transformation = transformations.get(record.transformation)
+            if transformation is None:
+                try:
+                    transformation = by_name(record.transformation)
+                except KeyError as exc:
+                    raise PlanError(
+                        f"plan references unknown transformation "
+                        f"{record.transformation!r}"
+                    ) from exc
+                transformations[record.transformation] = transformation
+            transformation.replay(working, record)
+        if validate:
+            try:
+                validate_graph(working)
+            except Exception as exc:
+                raise PlanError(f"replayed graph is invalid: {exc}") from exc
+        if source_matches:
+            working.plan_fingerprint = self.fingerprint
+        return working
+
+
+def extract_plan(original: FormatGraph,
+                 records: Iterator[TransformationRecord] | tuple | list
+                 ) -> ObfuscationPlan:
+    """Build the plan of an engine run from its source graph and records."""
+    return ObfuscationPlan(
+        source=original.name,
+        source_fingerprint=graph_fingerprint(original),
+        records=tuple(records),
+    )
