@@ -6,7 +6,7 @@ backwards compatibility with the earlier hard-coded protocol table.
 """
 
 from ..protocols.registry import ProtocolSetup
-from .resilience import ResilienceReport, run_resilience
+from .resilience import DegradedView, ResilienceReport, run_resilience
 from .runner import (
     TABLE_HEADERS,
     ExperimentRunner,
@@ -18,6 +18,7 @@ __all__ = [
     "ExperimentRunner",
     "LevelSummary",
     "ProtocolSetup",
+    "DegradedView",
     "ResilienceReport",
     "RunResult",
     "TABLE_HEADERS",

@@ -30,6 +30,71 @@ from ..wire.codec import WireCodec
 from ..wire.spans import FieldSpan
 
 
+#: Degraded-view kinds understood by :class:`DegradedView`.
+VIEW_KINDS = ("partial", "truncated", "window", "mid_rotation")
+
+
+@dataclass(frozen=True)
+class DegradedView:
+    """What a weakened attacker actually captured of a trace.
+
+    The full-trace experiment hands the analyst every message; a real on-path
+    observer rarely gets that.  A view deterministically selects the subset
+    of the captured messages the analyst sees — identically for the plain
+    trace and every obfuscation level, so the scores stay comparable:
+
+    * ``partial`` — a seeded random sample of ``fraction`` of the messages
+      (a sniffer that drops captures under load);
+    * ``truncated`` — the leading ``fraction`` (a session cut early, the
+      fault layer's truncation outcome);
+    * ``window`` — a contiguous window of ``fraction`` starting at a seeded
+      offset (an observer attached mid-session and detached before the end);
+    * ``mid_rotation`` — everything before the first key-rotation boundary
+      of a rotated trace (``fraction`` is ignored; requires
+      ``rotations >= 1``), the attacker that never saw the later dialects.
+    """
+
+    kind: str = "partial"
+    fraction: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in VIEW_KINDS:
+            raise ValueError(
+                f"unknown view kind {self.kind!r}; expected one of {VIEW_KINDS}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be within (0, 1] ({self.fraction})")
+
+    def keep_indices(self, count: int, *, boundary: int | None = None
+                     ) -> list[int]:
+        """Workload indices the analyst sees, deterministic per view."""
+        if count == 0:
+            return []
+        keep = max(1, round(count * self.fraction))
+        if self.kind == "partial":
+            return sorted(Random(self.seed).sample(range(count), keep))
+        if self.kind == "truncated":
+            return list(range(keep))
+        if self.kind == "window":
+            start = Random(self.seed).randrange(0, count - keep + 1)
+            return list(range(start, start + keep))
+        # mid_rotation: the capture stops at the first rotation boundary.
+        if boundary is None:
+            raise ValueError(
+                "a mid_rotation view needs a rotated trace; run with "
+                "rotations >= 1"
+            )
+        return list(range(min(boundary, count)))
+
+    def apply(self, trace: Sequence, spans: Sequence, types: Sequence, *,
+              boundary: int | None = None) -> tuple[list, list, list]:
+        """Restrict ``(trace, spans, types)`` to the view's selection."""
+        indices = self.keep_indices(len(trace), boundary=boundary)
+        return ([trace[i] for i in indices], [spans[i] for i in indices],
+                [types[i] for i in indices])
+
+
 @dataclass(frozen=True)
 class ResilienceReport:
     """PRE inference quality on the plain and obfuscated protocol versions."""
@@ -37,6 +102,8 @@ class ResilienceReport:
     plain: InferenceScore
     obfuscated: dict[int, InferenceScore]
     protocol: str = "modbus"
+    #: kind of the degraded attacker view applied (None = full trace).
+    view: str | None = None
 
     def degradation(self, passes: int) -> float:
         """Relative F1 drop of the obfuscated version (1.0 = complete collapse)."""
@@ -124,7 +191,8 @@ def run_resilience(*, protocol: str | None = None,
                    parallel: bool = False,
                    max_workers: int | None = None,
                    capture: object | None = None,
-                   rotations: int = 0) -> ResilienceReport:
+                   rotations: int = 0,
+                   view: DegradedView | None = None) -> ResilienceReport:
     """Run the resilience experiment and score every obfuscation level.
 
     The defaults mirror the paper's setting: four different Modbus messages
@@ -152,6 +220,12 @@ def run_resilience(*, protocol: str | None = None,
     one undifferentiated trace, so the scores quantify what key rotation does
     to the PRE engine on top of a single static obfuscation
     (``rotations=0``, the default, reproduces the static experiment exactly).
+
+    ``view`` degrades what the analyst captured (:class:`DegradedView`):
+    the same deterministic message selection is applied to the plain trace
+    and every obfuscation level, so the reported scores compare the methods
+    under an identically weakened observer.  The ``mid_rotation`` kind cuts
+    at the first rotation boundary and therefore requires ``rotations >= 1``.
     """
     if capture is not None:
         capture_protocol = getattr(capture, "protocol", None)
@@ -194,15 +268,29 @@ def run_resilience(*, protocol: str | None = None,
             f"protocol {protocol!r}"
         )
 
+    if rotations < 0:
+        raise ValueError(f"rotations cannot be negative ({rotations})")
+    segments = _segment_bounds(len(workload), rotations + 1)
+    # The first rotation boundary, where the mid_rotation view cuts off.
+    rotation_boundary = segments[0][1] if rotations > 0 else None
+    if view is not None and view.kind == "mid_rotation" and rotations < 1:
+        raise ValueError(
+            "a mid_rotation view needs a rotated trace; run with rotations >= 1"
+        )
+
+    def seen(trace, spans):
+        """What the (possibly degraded) analyst captures of a full trace."""
+        if view is None:
+            return trace, spans, types
+        return view.apply(trace, spans, types, boundary=rotation_boundary)
+
     if capture is not None:
         plain_trace, plain_spans = capture.messages(), capture.field_spans()
     else:
         plain_trace, plain_spans = _capture(base_graphs, workload, seed)
-    plain_score = score_inference(inferencer.infer(plain_trace), plain_spans, types)
-
-    if rotations < 0:
-        raise ValueError(f"rotations cannot be negative ({rotations})")
-    segments = _segment_bounds(len(workload), rotations + 1)
+    seen_trace, seen_spans, seen_types = seen(plain_trace, plain_spans)
+    plain_score = score_inference(inferencer.infer(seen_trace), seen_spans,
+                                  seen_types)
 
     obfuscated_scores: dict[int, InferenceScore] = {}
     for passes in passes_levels:
@@ -229,7 +317,10 @@ def run_resilience(*, protocol: str | None = None,
                 obfuscated, workload[start:end], seed)
             trace.extend(segment_trace)
             spans.extend(segment_spans)
-        obfuscated_scores[passes] = score_inference(inferencer.infer(trace), spans, types)
+        seen_trace, seen_spans, seen_types = seen(trace, spans)
+        obfuscated_scores[passes] = score_inference(
+            inferencer.infer(seen_trace), seen_spans, seen_types)
 
     return ResilienceReport(plain=plain_score, obfuscated=obfuscated_scores,
-                            protocol=protocol)
+                            protocol=protocol,
+                            view=view.kind if view is not None else None)

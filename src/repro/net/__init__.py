@@ -14,6 +14,9 @@ straight into the PRE resilience study.
   plain↔obfuscated gateway;
 * :mod:`repro.net.rotation` — :class:`SessionKey` / :class:`PlanBook`, the
   pre-shared obfuscation plans that endpoints rotate through mid-session;
+* :mod:`repro.net.faults` — :class:`FaultPlan` / :class:`FaultInjector` /
+  :class:`FaultyWriter`, the seeded hostile link (loss, reordering,
+  duplication, corruption, truncation, slow-loris) under any session;
 * :mod:`repro.net.capture` — :class:`Capture` records of the wire traffic
   (JSONL-portable, accepted by ``run_resilience`` and ``infer_formats``).
 
@@ -28,7 +31,16 @@ from ..wire.streaming import (
     stream_greedy_nodes,
 )
 from .capture import Capture, CaptureError, CaptureRecord
+from .faults import (
+    FaultCounters,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultyWriter,
+    faulty_memory_pipe,
+)
 from .framing import (
+    CorruptRecord,
     RecordDecoder,
     RotationEvent,
     encode_record,
@@ -50,7 +62,13 @@ __all__ = [
     "Capture",
     "CaptureError",
     "CaptureRecord",
+    "CorruptRecord",
     "DecodedMessage",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultyWriter",
     "MemoryWriter",
     "ObfuscatedClient",
     "ObfuscatedProxy",
@@ -67,6 +85,7 @@ __all__ = [
     "derive_session_key",
     "encode_record",
     "encode_rotation",
+    "faulty_memory_pipe",
     "is_self_framing",
     "memory_pipe",
     "resolve_framing",

@@ -136,6 +136,19 @@ class Capture:
             selected._records.append(record)
         return selected
 
+    def slice(self, start: int, stop: int | None = None) -> "Capture":
+        """A new capture holding records ``[start:stop]`` of the append order.
+
+        This is the degraded-capture primitive: an observer that attached
+        late, detached early, or whose capture was cut mid-session (e.g.
+        between two rotation events) holds exactly a contiguous slice of the
+        full record stream.  Records keep their original ``seq`` numbers, so
+        a slice stays traceable to its position in the full capture.
+        """
+        selected = Capture(protocol=self.protocol)
+        selected._records.extend(self._records[start:stop])
+        return selected
+
     def byte_count(self) -> int:
         """Total captured payload bytes."""
         return sum(len(record.data) for record in self._records)

@@ -78,6 +78,29 @@ def encode_record(payload: bytes) -> bytes:
 
 
 @dataclass(frozen=True)
+class CorruptRecord:
+    """A framed record whose payload would not parse, skipped under resync.
+
+    Only emitted by a :class:`RecordDecoder` constructed with ``resync=True``:
+    the record envelope was intact (plausible length prefix, all payload bytes
+    arrived), but the payload failed strict parsing — the signature of
+    in-flight byte corruption rather than desynchronization.  The decoder
+    reports the damaged record in stream order and *resynchronizes at the
+    next record boundary*, which the length prefix locates exactly.  Header
+    damage (an implausible length) stays a hard :class:`StreamError`: once
+    the prefix itself lies, there is no trustworthy next boundary.
+    """
+
+    #: the undecodable payload bytes, as delivered.
+    raw: bytes
+    #: payload-offset extent of the skipped record.
+    start: int
+    end: int
+    #: the strict parse failure that condemned the payload.
+    error: StreamError
+
+
+@dataclass(frozen=True)
 class RotationEvent:
     """A plan switch observed in a record stream, at its exact boundary.
 
@@ -120,15 +143,25 @@ class RecordDecoder:
     so the consumer can rotate its own sending side in step.  Without a
     resolver a rotation record is a hard :class:`StreamError` — an endpoint
     that does not hold the plan book cannot follow the key change.
+
+    With ``resync=True`` an undecodable record *payload* is reported as a
+    :class:`CorruptRecord` event instead of failing the stream, and decoding
+    resumes at the next record boundary — the recovery the length-prefixed
+    envelope makes possible.  Header-level damage (an implausible length
+    prefix) remains terminal either way.
     """
 
     def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None,
-                 key_resolver: "Callable[[str], FormatGraph] | None" = None):
+                 key_resolver: "Callable[[str], FormatGraph] | None" = None,
+                 resync: bool = False):
         from ..wire.parser import Parser  # local: keeps module import light
 
         self.graph = graph
         self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
         self._key_resolver = key_resolver
+        self.resync = resync
+        #: records skipped under resync (mirrors the CorruptRecord events).
+        self.corrupt_count = 0
         #: key id of the plan currently in force (None until the first rotation).
         self.current_key: str | None = None
         self._buffer = bytearray()
@@ -145,14 +178,14 @@ class RecordDecoder:
     def decoded_count(self) -> int:
         return self._decoded
 
-    def feed(self, data: bytes) -> "list[DecodedMessage | RotationEvent]":
+    def feed(self, data: bytes) -> "list[DecodedMessage | RotationEvent | CorruptRecord]":
         self._check_failed()
         if self._eof:
             raise StreamError("cannot feed bytes after end-of-stream")
         self._buffer += data
         return self._drain()
 
-    def feed_eof(self) -> "list[DecodedMessage | RotationEvent]":
+    def feed_eof(self) -> "list[DecodedMessage | RotationEvent | CorruptRecord]":
         self._check_failed()
         self._eof = True
         completed = self._drain()
@@ -186,10 +219,10 @@ class RecordDecoder:
         self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
         self.current_key = key_id
 
-    def _drain(self) -> "list[DecodedMessage | RotationEvent]":
+    def _drain(self) -> "list[DecodedMessage | RotationEvent | CorruptRecord]":
         from ..wire.parser import Parser  # local: keeps module import light
 
-        completed: "list[DecodedMessage | RotationEvent]" = []
+        completed: "list[DecodedMessage | RotationEvent | CorruptRecord]" = []
         while True:
             if len(self._buffer) < RECORD_HEADER:
                 break
@@ -244,6 +277,17 @@ class RecordDecoder:
                     message_index=self._decoded,
                 )
                 wrapped.offset, wrapped.node = exc.offset, exc.node
+                if self.resync:
+                    # The envelope still frames the stream: report the damaged
+                    # record and resynchronize at the next record boundary.
+                    start = self._payload_offset
+                    self._payload_offset += size
+                    self.corrupt_count += 1
+                    completed.append(CorruptRecord(
+                        raw=payload, start=start, end=self._payload_offset,
+                        error=wrapped,
+                    ))
+                    continue
                 raise self._fail(wrapped) from exc
             start = self._payload_offset
             self._payload_offset += size
@@ -258,19 +302,23 @@ class RecordDecoder:
         return error
 
     def _check_failed(self) -> None:
+        # Re-raise the *original* stored error: diagnosis code downstream
+        # relies on message_index/offset/node surviving repeated feeds.
         if self._failed is not None:
-            raise StreamError(
-                f"decoder already failed: {self._failed}"
-            ) from self._failed
+            raise self._failed
 
 
 def make_decoder(graph: FormatGraph, framing: str, *,
                  plan: CodecPlan | None = None,
-                 key_resolver: "Callable[[str], FormatGraph] | None" = None):
+                 key_resolver: "Callable[[str], FormatGraph] | None" = None,
+                 resync: bool = False):
     """Instantiate the incremental decoder matching a resolved framing.
 
     ``key_resolver`` enables rotation control records; only record framing
     carries them (native framing has no envelope for control traffic).
+    ``resync`` asks for corrupt-payload recovery at record boundaries — a
+    record-framing capability; a native stream has no boundary to resume at,
+    so requesting resync there is an error rather than a silent downgrade.
     """
     if framing == "native":
         if key_resolver is not None:
@@ -278,9 +326,15 @@ def make_decoder(graph: FormatGraph, framing: str, *,
                 "native framing cannot carry rotation control records; "
                 "use record framing for rotation-capable sessions"
             )
+        if resync:
+            raise StreamError(
+                "native framing cannot resynchronize after corruption "
+                "(no record boundary to resume at); use record framing"
+            )
         return StreamingDecoder(graph, plan=plan)
     if framing == "record":
-        return RecordDecoder(graph, plan=plan, key_resolver=key_resolver)
+        return RecordDecoder(graph, plan=plan, key_resolver=key_resolver,
+                             resync=resync)
     raise ValueError(f"unresolved framing {framing!r}")
 
 
@@ -299,6 +353,7 @@ __all__ = [
     "RECORD_HEADER",
     "ROTATION_KEY_HEADER",
     "ROTATION_SENTINEL",
+    "CorruptRecord",
     "RecordDecoder",
     "RotationEvent",
     "encode_record",

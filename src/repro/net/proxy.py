@@ -25,7 +25,8 @@ from ..protocols import registry
 from ..wire.plan import plan_for
 from ..wire.serializer import Serializer
 from .capture import Capture
-from .framing import frame_payload, make_decoder, resolve_framing
+from .faults import FaultPlan, FaultyWriter
+from .framing import CorruptRecord, frame_payload, make_decoder, resolve_framing
 from .session import _MessagePump, half_close
 
 
@@ -36,6 +37,8 @@ class ProxyStats:
     session: str
     requests: int = 0
     responses: int = 0
+    #: corrupt records skipped by framing resync (resync-enabled proxies).
+    resyncs: int = 0
     error: str | None = None
 
 
@@ -74,9 +77,14 @@ class ObfuscatedProxy:
                  framing: str = "auto",
                  seed: int = 0,
                  capture: Capture | None = None,
-                 record_spans: bool | None = None):
+                 record_spans: bool | None = None,
+                 resync: bool = False):
         self.setup = (registry.get(protocol) if isinstance(protocol, str)
                       else protocol)
+        #: skip corrupt records at record boundaries instead of failing the
+        #: bridge; applies to record-framed legs (native streams have no
+        #: boundary to resume at).
+        self.resync = resync
         plain_request = self.setup.reference_graph("request")
         plain_response = (self.setup.reference_graph("response")
                           if self.setup.response_graph_factory is not None
@@ -105,24 +113,36 @@ class ObfuscatedProxy:
 
     async def bridge(self, client_reader, client_writer,
                      upstream_reader, upstream_writer, *,
-                     session_id: str | None = None) -> ProxyStats:
-        """Pump both directions of one session until both sides hit EOF."""
+                     session_id: str | None = None,
+                     upstream_faults: FaultPlan | None = None) -> ProxyStats:
+        """Pump both directions of one session until both sides hit EOF.
+
+        ``upstream_faults`` puts a seeded hostile link under the proxy's
+        upstream write leg — the obfuscated segment the threat model exposes.
+        """
         session = (session_id if session_id is not None
                    else f"proxy-{next(self._session_ids)}")
         stats = ProxyStats(session)
+        if upstream_faults is not None:
+            upstream_writer = FaultyWriter(upstream_writer, upstream_faults)
 
         async def pump_requests():
             pump = _MessagePump(
                 client_reader,
                 make_decoder(self.listen.request_graph,
                              self.listen.request_framing,
-                             plan=self.listen.request_plan),
+                             plan=self.listen.request_plan,
+                             resync=(self.resync
+                                     and self.listen.request_framing == "record")),
             )
             try:
                 while True:
                     decoded = await pump.next()
                     if decoded is None:
                         break
+                    if isinstance(decoded, CorruptRecord):
+                        stats.resyncs += 1
+                        continue
                     payload, spans = self._encode_upstream(decoded.message)
                     self._capture(session, "request", payload, decoded.message,
                                   spans)
@@ -138,13 +158,18 @@ class ObfuscatedProxy:
                 upstream_reader,
                 make_decoder(self.upstream.response_graph,
                              self.upstream.response_framing,
-                             plan=self.upstream.response_plan),
+                             plan=self.upstream.response_plan,
+                             resync=(self.resync
+                                     and self.upstream.response_framing == "record")),
             )
             try:
                 while True:
                     decoded = await pump.next()
                     if decoded is None:
                         break
+                    if isinstance(decoded, CorruptRecord):
+                        stats.resyncs += 1
+                        continue
                     payload = self.listen.response_serializer.serialize(decoded.message)
                     client_writer.write(
                         frame_payload(payload, self.listen.response_framing))

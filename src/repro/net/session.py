@@ -46,7 +46,9 @@ from ..wire.plan import plan_for
 from ..wire.serializer import Serializer
 from ..wire.streaming import DecodedMessage
 from .capture import Capture
+from .faults import FaultPlan, FaultyWriter
 from .framing import (
+    CorruptRecord,
     RotationEvent,
     encode_rotation,
     frame_payload,
@@ -127,13 +129,21 @@ def memory_pipe() -> tuple[
 
 
 def half_close(writer) -> None:
-    """Signal EOF on any writer, tolerating transports without half-close."""
+    """Signal EOF on any writer, tolerating transports without half-close.
+
+    A no-op on a writer that is already closing: teardown paths routinely
+    race (client close vs. fault-layer cut vs. server close), and the second
+    half-close must not raise.
+    """
     try:
+        if hasattr(writer, "is_closing") and writer.is_closing():
+            return
         if hasattr(writer, "can_write_eof") and not writer.can_write_eof():
             writer.close()
         else:
             writer.write_eof()
-    except (OSError, RuntimeError):  # pragma: no cover - transport torn down
+    except (OSError, RuntimeError):
+        # Torn-down transports are an expected teardown race, not an error.
         pass
 
 
@@ -279,6 +289,8 @@ class SessionStats:
     bytes_received: int = 0
     bytes_sent: int = 0
     rotations: int = 0
+    #: corrupt records skipped by framing resync (resync-enabled sessions).
+    resyncs: int = 0
     error: str | None = None
 
 
@@ -311,7 +323,8 @@ class ObfuscatedServer:
                  capture: Capture | None = None,
                  record_spans: bool | None = None,
                  capture_received: bool = False,
-                 plan_book: PlanBook | None = None):
+                 plan_book: PlanBook | None = None,
+                 resync: bool = False):
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
             framing=framing, seed=seed, capture=capture,
@@ -321,6 +334,9 @@ class ObfuscatedServer:
         if responder is registry.DEFAULT:
             responder = self._endpoint.setup.responder
         self.responder: Responder | None = responder
+        #: recover from corrupt record payloads at the next record boundary
+        #: (requires record framing; see make_decoder).
+        self.resync = resync
         self._responder_rng = Random(seed + 0x5EED)
         self._response_serializer = self._endpoint.serializer("response")
         self._session_ids = itertools.count(1)
@@ -334,7 +350,8 @@ class ObfuscatedServer:
     # -- session driving -------------------------------------------------------
 
     async def serve_session(self, reader: asyncio.StreamReader, writer, *,
-                            session_id: str | None = None) -> SessionStats:
+                            session_id: str | None = None,
+                            fault_plan: FaultPlan | None = None) -> SessionStats:
         """Drive one session to completion (client EOF) and return its stats.
 
         Sessions of a plan-book-holding server are rotation-capable: every
@@ -344,17 +361,25 @@ class ObfuscatedServer:
         reply is serialized under the key in force when its request was
         decoded).  Rotation state is session-local; such sessions therefore
         use a per-session response serializer instead of the shared one.
+
+        ``fault_plan`` injects transport faults into this session's *response*
+        byte stream (the server→client direction); with ``resync=True`` on the
+        server, corrupt request records are skipped at record boundaries and
+        counted in ``stats.resyncs`` instead of killing the session.
         """
         endpoint = self._endpoint
         book = endpoint.plan_book
         session = (session_id if session_id is not None
                    else f"session-{next(self._session_ids)}")
+        if fault_plan is not None:
+            writer = FaultyWriter(writer, fault_plan)
         key_resolver = None
         if book is not None:
             key_resolver = lambda key_id: book.get(key_id).request_graph  # noqa: E731
         decoder = make_decoder(endpoint.request_graph, endpoint.request_framing,
                                plan=endpoint.request_plan,
-                               key_resolver=key_resolver)
+                               key_resolver=key_resolver,
+                               resync=self.resync)
         pump = _MessagePump(reader, decoder)
         stats = SessionStats(session)
         response_serializer = (self._response_serializer if book is None
@@ -372,6 +397,11 @@ class ObfuscatedServer:
                     request_fingerprint = key.request_fingerprint
                     response_fingerprint = key.response_fingerprint
                     stats.rotations += 1
+                    continue
+                if isinstance(decoded, CorruptRecord):
+                    # A damaged request record was skipped at the framing
+                    # layer; the session survives, the damage is counted.
+                    stats.resyncs += 1
                     continue
                 stats.received += 1
                 stats.bytes_received += len(decoded.raw)
@@ -450,7 +480,9 @@ class ObfuscatedClient:
                  record_spans: bool | None = None,
                  capture_received: bool = False,
                  session_id: str | None = None,
-                 plan_book: PlanBook | None = None):
+                 plan_book: PlanBook | None = None,
+                 resync: bool = False):
+        self.resync = resync
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
             framing=framing, seed=seed, capture=capture,
@@ -474,14 +506,22 @@ class ObfuscatedClient:
 
     # -- connecting ------------------------------------------------------------
 
-    def attach(self, reader: asyncio.StreamReader, writer) -> "ObfuscatedClient":
-        """Attach an already-open duplex stream."""
+    def attach(self, reader: asyncio.StreamReader, writer, *,
+               fault_plan: FaultPlan | None = None) -> "ObfuscatedClient":
+        """Attach an already-open duplex stream.
+
+        ``fault_plan`` injects transport faults into the *request* byte
+        stream (everything this client writes crosses the hostile link).
+        """
         endpoint = self._endpoint
+        if fault_plan is not None:
+            writer = FaultyWriter(writer, fault_plan)
         self._reader, self._writer = reader, writer
         self._pump = _MessagePump(
             reader,
             make_decoder(endpoint.response_graph, endpoint.response_framing,
-                         plan=endpoint.response_plan),
+                         plan=endpoint.response_plan,
+                         resync=self.resync),
         )
         return self
 
@@ -510,10 +550,19 @@ class ObfuscatedClient:
         return payload
 
     async def receive(self) -> DecodedMessage | None:
-        """Await the next framed response (``None`` at end of stream)."""
+        """Await the next framed response (``None`` at end of stream).
+
+        On a resync-enabled client, corrupt response records are skipped
+        (counted in ``stats.resyncs``) and the wait continues.
+        """
         if self._pump is None:
             raise ConnectionError("client is not connected")
-        decoded = await self._pump.next()
+        while True:
+            decoded = await self._pump.next()
+            if isinstance(decoded, CorruptRecord):
+                self.stats.resyncs += 1
+                continue
+            break
         if decoded is not None:
             self.stats.received += 1
             self.stats.bytes_received += len(decoded.raw)
@@ -599,18 +648,26 @@ class ObfuscatedClient:
         self._reader = self._writer = self._pump = None
 
 
-def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer
+def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer, *,
+                   request_faults: FaultPlan | None = None,
+                   response_faults: FaultPlan | None = None
                    ) -> ObfuscatedClient:
     """Wire ``client`` to ``server`` over the in-process duplex transport.
 
     The server session is spawned as a background task; ``client.close()``
     awaits it, so the returned stats land in ``server.completed`` before the
     client's ``close()`` resolves.  Must run inside an event loop.
+
+    ``request_faults`` / ``response_faults`` put a seeded hostile link under
+    the respective direction of the duplex stream (see
+    :mod:`repro.net.faults`).
     """
     (client_reader, client_writer), (server_reader, server_writer) = memory_pipe()
-    client.attach(client_reader, client_writer)
+    client.attach(client_reader, client_writer, fault_plan=request_faults)
     client._server_task = asyncio.ensure_future(
         server.serve_session(server_reader, server_writer,
-                             session_id=client.session_id)
+                             session_id=client.session_id,
+                             fault_plan=response_faults)
     )
     return client
+

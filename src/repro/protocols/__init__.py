@@ -1,9 +1,10 @@
 """Protocol specifications and core applications used in the evaluation.
 
 The paper evaluates the framework on two protocols: a binary protocol
-(TCP-Modbus) and a text protocol (HTTP/1.1).  Two further workloads extend
+(TCP-Modbus) and a text protocol (HTTP/1.1).  Three further workloads extend
 the evaluation beyond the paper: DNS (binary, length-prefixed label
-sequences) and MQTT (binary, variable-length header).  Each protocol
+sequences), MQTT (binary, variable-length header) and CoAP (delta-encoded
+TLV options closed by a payload marker).  Each protocol
 subpackage provides the message format graphs (the specification ``S`` of the
 paper) and a *core application* that builds random, well-formed logical
 messages — the role played by the simply-modbus-driven client and the
@@ -15,6 +16,6 @@ import time; consumers resolve them through ``registry.get(key)`` /
 """
 
 from . import registry
-from . import dns, http, modbus, mqtt
+from . import coap, dns, http, modbus, mqtt
 
-__all__ = ["dns", "http", "modbus", "mqtt", "registry"]
+__all__ = ["coap", "dns", "http", "modbus", "mqtt", "registry"]

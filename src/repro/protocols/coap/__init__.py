@@ -1,0 +1,78 @@
+"""CoAP specification and core application (TLV options + payload marker)."""
+
+from .app import (
+    build_request,
+    build_response,
+    decode_options,
+    random_path,
+    random_payload,
+    random_request,
+    random_token,
+    respond,
+    uri_path,
+)
+from .spec import (
+    CHANGED,
+    CONTENT,
+    CREATED,
+    DELETE,
+    DELETED,
+    GET,
+    METHOD_CODES,
+    NOT_FOUND,
+    OPTION_CONTENT_FORMAT,
+    OPTION_URI_PATH,
+    OPTION_URI_QUERY,
+    PAYLOAD_MARKER,
+    POST,
+    PUT,
+    RESPONSE_CODES,
+    message_graph,
+)
+from .. import registry
+
+#: Alias kept so the request-direction naming used by the other protocol
+#: packages (and the shared fixtures) applies to CoAP as well.
+request_graph = message_graph
+
+SETUP = registry.register(
+    registry.ProtocolSetup(
+        key="coap",
+        label="CoAP",
+        graph_factory=message_graph,
+        message_generator=random_request,
+        responder=respond,
+        description="CoAP requests/responses (delta-encoded TLV options, "
+                    "payload marker)",
+    )
+)
+
+__all__ = [
+    "CHANGED",
+    "CONTENT",
+    "CREATED",
+    "DELETE",
+    "DELETED",
+    "GET",
+    "METHOD_CODES",
+    "NOT_FOUND",
+    "OPTION_CONTENT_FORMAT",
+    "OPTION_URI_PATH",
+    "OPTION_URI_QUERY",
+    "PAYLOAD_MARKER",
+    "POST",
+    "PUT",
+    "RESPONSE_CODES",
+    "SETUP",
+    "build_request",
+    "build_response",
+    "decode_options",
+    "message_graph",
+    "random_path",
+    "random_payload",
+    "random_request",
+    "random_token",
+    "request_graph",
+    "respond",
+    "uri_path",
+]

@@ -1,0 +1,199 @@
+"""CoAP core application.
+
+Builds random, well-formed logical CoAP messages (GET/POST/PUT/DELETE
+requests and their responses) used as the workload of the CoAP experiments.
+URI paths are drawn from pools of realistic resource segments; payloads are
+short sensor-style readings.
+
+Options are emitted in option-number order as (delta, value) pairs, which is
+what the delta encoding requires; the helpers below compute the deltas from
+absolute option numbers so builders never deal with them directly.  All
+emitted deltas stay well below the ``0xFF`` payload marker.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ...core.message import Message
+from .spec import (
+    CHANGED,
+    CONTENT,
+    CREATED,
+    DELETE,
+    DELETED,
+    GET,
+    METHOD_CODES,
+    NOT_FOUND,
+    OPTION_CONTENT_FORMAT,
+    OPTION_URI_PATH,
+    OPTION_URI_QUERY,
+    POST,
+    PUT,
+    RESPONSE_CODES,
+)
+
+_PATH_SEGMENTS = ("sensors", "actuators", "temp", "humidity", "valve", "well-known",
+                  "core", "config", "node-1", "node-2", "light", "status")
+_QUERY_WORDS = ("unit=C", "unit=hPa", "window=60", "raw=1", "avg=5m")
+_PAYLOAD_WORDS = (b"21.5", b"ok", b"1013.2", b"on", b"off", b"0.93", b"ready")
+
+#: Content-Format identifiers (text/plain, application/octet-stream,
+#: application/json, application/cbor).
+_CONTENT_FORMATS = (0, 42, 50, 60)
+
+_OPTIONS_PATH = "coap_body.coap_options"
+
+
+# ---------------------------------------------------------------------------
+# message builders
+# ---------------------------------------------------------------------------
+
+
+def _set_options(message: Message, options: "list[tuple[int, bytes]]") -> None:
+    """Store ``(option_number, value)`` pairs as the delta-encoded list."""
+    message.set(_OPTIONS_PATH, [])
+    previous = 0
+    for index, (number, value) in enumerate(sorted(options, key=lambda o: o[0])):
+        delta = number - previous
+        if not 0 <= delta <= 0xFE:
+            raise ValueError(
+                f"option delta {delta} not encodable as a single byte "
+                f"(option numbers {previous} -> {number})"
+            )
+        prefix = f"{_OPTIONS_PATH}[{index}]"
+        message.set(f"{prefix}.coap_option_delta", delta)
+        message.set(f"{prefix}.coap_option_value", bytes(value))
+        previous = number
+
+
+def decode_options(message: Message) -> "list[tuple[int, bytes]]":
+    """Recover the absolute ``(option_number, value)`` pairs of a message."""
+    options: "list[tuple[int, bytes]]" = []
+    number = 0
+    for index in range(message.list_length(_OPTIONS_PATH)):
+        prefix = f"{_OPTIONS_PATH}[{index}]"
+        number += message.get(f"{prefix}.coap_option_delta")
+        options.append((number, message.get(f"{prefix}.coap_option_value")))
+    return options
+
+
+def uri_path(message: Message) -> str:
+    """The slash-joined Uri-Path of a message (``""`` when absent)."""
+    segments = [value.decode("latin-1")
+                for number, value in decode_options(message)
+                if number == OPTION_URI_PATH]
+    return "/".join(segments)
+
+
+def build_request(method: int, path: str, *, message_id: int = 0,
+                  token: bytes = b"", payload: bytes = b"",
+                  query: "tuple[str, ...]" = (),
+                  content_format: int | None = None) -> Message:
+    """Build a logical CoAP request for ``path`` (``"sensors/temp"`` style)."""
+    if method not in METHOD_CODES:
+        raise ValueError(f"unsupported method code 0x{method:02X}")
+    message = Message()
+    message.set("coap_code", method)
+    message.set("coap_body.coap_message_id", message_id)
+    message.set("coap_body.coap_token", bytes(token))
+    options: "list[tuple[int, bytes]]" = [
+        (OPTION_URI_PATH, segment.encode("latin-1"))
+        for segment in path.split("/") if segment
+    ]
+    if content_format is not None:
+        options.append((OPTION_CONTENT_FORMAT, bytes([content_format])))
+    options.extend((OPTION_URI_QUERY, word.encode("latin-1")) for word in query)
+    _set_options(message, options)
+    message.set("coap_body.coap_payload", bytes(payload))
+    return message
+
+
+def build_response(code: int, *, message_id: int = 0, token: bytes = b"",
+                   payload: bytes = b"",
+                   content_format: int | None = None) -> Message:
+    """Build a logical CoAP response (2.xx / 4.xx code byte)."""
+    if code not in RESPONSE_CODES:
+        raise ValueError(f"unsupported response code 0x{code:02X}")
+    message = Message()
+    message.set("coap_code", code)
+    message.set("coap_body.coap_message_id", message_id)
+    message.set("coap_body.coap_token", bytes(token))
+    options: "list[tuple[int, bytes]]" = []
+    if content_format is not None:
+        options.append((OPTION_CONTENT_FORMAT, bytes([content_format])))
+    _set_options(message, options)
+    message.set("coap_body.coap_payload", bytes(payload))
+    return message
+
+
+# ---------------------------------------------------------------------------
+# random workload generation
+# ---------------------------------------------------------------------------
+
+
+def random_path(rng: Random) -> str:
+    """Draw a random resource path of one to three segments."""
+    depth = rng.randrange(1, 4)
+    return "/".join(rng.choice(_PATH_SEGMENTS) for _ in range(depth))
+
+
+def random_payload(rng: Random) -> bytes:
+    """Draw a short representation payload."""
+    words = [rng.choice(_PAYLOAD_WORDS) for _ in range(rng.randrange(1, 4))]
+    return b" ".join(words)
+
+
+def random_token(rng: Random) -> bytes:
+    """Draw a correlation token of zero to four bytes."""
+    return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 5)))
+
+
+def random_request(rng: Random, *, method: int | None = None) -> Message:
+    """Draw a random, well-formed CoAP request."""
+    method = method if method is not None else rng.choice(METHOD_CODES)
+    payload = b""
+    content_format = None
+    if method in (POST, PUT):
+        payload = random_payload(rng)
+        content_format = rng.choice(_CONTENT_FORMATS)
+    query: "tuple[str, ...]" = ()
+    if rng.random() < 0.4:
+        query = tuple(rng.choice(_QUERY_WORDS)
+                      for _ in range(rng.randrange(1, 3)))
+    return build_request(
+        method,
+        random_path(rng),
+        message_id=rng.randrange(0, 0x10000),
+        token=random_token(rng),
+        payload=payload,
+        query=query,
+        content_format=content_format,
+    )
+
+
+def respond(request: Message, rng: Random) -> Message | None:
+    """Session-driver hook: a CoAP server answering one request.
+
+    GET returns 2.05 Content with a fresh reading, POST returns 2.01
+    Created, PUT returns 2.04 Changed, DELETE returns 2.02 Deleted; a path
+    mentioning a resource the pools never generate would 4.04, but the
+    random workload always hits known pools, so NOT_FOUND only appears via
+    the explicit builder.  Message id and token are echoed (piggybacked
+    response correlation).
+    """
+    code = request.get("coap_code")
+    message_id = request.get("coap_body.coap_message_id")
+    token = request.get("coap_body.coap_token")
+    if code == GET:
+        return build_response(CONTENT, message_id=message_id, token=token,
+                              payload=random_payload(rng),
+                              content_format=rng.choice(_CONTENT_FORMATS))
+    if code == POST:
+        return build_response(CREATED, message_id=message_id, token=token)
+    if code == PUT:
+        return build_response(CHANGED, message_id=message_id, token=token)
+    if code == DELETE:
+        return build_response(DELETED, message_id=message_id, token=token)
+    # A response (or unknown code) arriving at the server side is absorbed.
+    return None

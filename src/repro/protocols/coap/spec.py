@@ -1,0 +1,137 @@
+"""CoAP message format specification (TLV options + payload marker).
+
+CoAP is the TLV workload of the matrix: its option block is a *delta-encoded
+type–length–value list* closed by the ``0xFF`` payload marker — a boundary
+shape none of the other four families has.  Each option carries the
+difference between its option number and the previous one (so the list is
+sorted by construction), a length and an opaque value; the first byte after
+the last option is the payload marker, which can never begin an option
+because ``0xFF`` is reserved in the real protocol for exactly this purpose.
+In the format-graph vocabulary:
+
+* an option is a Sequence of a one-byte delta, a derived one-byte LENGTH
+  field and a value terminal bounded by it,
+* the option list is a Repetition whose DELIMITED boundary is the ``0xFF``
+  payload marker (the DNS root-label construction, with the twist that the
+  terminator doubles as the start-of-payload mark),
+* the message length is a derived LENGTH field backing the whole body (the
+  CoAP-over-reliable-transport construction of RFC 8323, where the framing
+  length rides in the header), and
+* the payload stretches to the end of the length window (an END boundary,
+  like the MQTT QoS-0 payload).
+
+Modelling notes
+---------------
+* We model CoAP over a reliable byte stream (RFC 8323), not the datagram
+  variant: the version/type nibbles of the UDP header are dropped and a
+  two-byte message length takes their place — the same fixed-width
+  simplification as MQTT's varint remaining length.
+* Option deltas and lengths are single whole bytes; the 13/14 extended-delta
+  escapes are not modelled.  The core application only emits deltas ``<= 12``
+  (Uri-Path, Content-Format, Uri-Query), which is also what keeps a delta
+  byte from colliding with the ``0xFF`` marker.
+* The payload marker is always written, even for empty payloads (real CoAP
+  omits marker *and* payload together); the serializer's DELIMITED
+  repetition terminator gives us the always-present form.
+* One graph serves both directions — request and response share the layout
+  and differ only in the code byte, as in the real protocol.
+"""
+
+from __future__ import annotations
+
+from ...core.boundary import Boundary
+from ...core.builder import (
+    build_graph,
+    bytes_field,
+    remaining_bytes,
+    repetition,
+    sequence,
+    uint,
+)
+from ...core.graph import FormatGraph
+from ...core.node import Node
+
+#: Request method codes (RFC 7252 §12.1.1).
+GET = 0x01
+POST = 0x02
+PUT = 0x03
+DELETE = 0x04
+
+#: Response codes used by the core application (class.detail packed bytes).
+CONTENT = 0x45        # 2.05
+CREATED = 0x41        # 2.01
+CHANGED = 0x44        # 2.04
+DELETED = 0x42        # 2.02
+NOT_FOUND = 0x84      # 4.04
+
+METHOD_CODES = (GET, POST, PUT, DELETE)
+RESPONSE_CODES = (CONTENT, CREATED, CHANGED, DELETED, NOT_FOUND)
+
+#: Option numbers the core application emits (RFC 7252 §5.10).
+OPTION_URI_PATH = 11
+OPTION_CONTENT_FORMAT = 12
+OPTION_URI_QUERY = 15
+
+#: End of the option list / start of the payload.
+PAYLOAD_MARKER = b"\xff"
+
+
+def _option() -> Node:
+    """One delta-encoded TLV option."""
+    return sequence(
+        "coap_option",
+        [
+            uint("coap_option_delta", 1,
+                 doc="difference to the previous option number (never 0xFF)"),
+            uint("coap_option_len", 1, doc="derived: length of the option value"),
+            bytes_field(
+                "coap_option_value",
+                Boundary.length("coap_option_len"),
+                doc="option value (opaque bytes)",
+            ),
+        ],
+        doc="one TLV option",
+    )
+
+
+def message_graph() -> FormatGraph:
+    """Message format graph of CoAP messages over a reliable transport.
+
+    Requests and responses share the graph; the code byte distinguishes the
+    directions (methods 0.xx vs. response classes 2.xx/4.xx).
+    """
+    body = sequence(
+        "coap_body",
+        [
+            uint("coap_message_id", 2, doc="message identifier"),
+            uint("coap_token_len", 1, doc="derived: length of the token"),
+            bytes_field(
+                "coap_token",
+                Boundary.length("coap_token_len"),
+                doc="request/response correlation token",
+            ),
+            repetition(
+                "coap_options",
+                _option(),
+                boundary=Boundary.delimited(PAYLOAD_MARKER),
+                doc="delta-encoded TLV options, closed by the payload marker",
+            ),
+            remaining_bytes(
+                "coap_payload",
+                doc="representation payload, to the end of the message",
+            ),
+        ],
+        boundary=Boundary.length("coap_message_len"),
+        doc="token, options and payload, covered by the message length",
+    )
+    root = sequence(
+        "coap_message",
+        [
+            uint("coap_code", 1, doc="method or response code"),
+            uint("coap_message_len", 2,
+                 doc="derived: number of body bytes (RFC 8323 framing length)"),
+            body,
+        ],
+        doc="CoAP message over a reliable byte stream",
+    )
+    return build_graph(root, name="coap_message")

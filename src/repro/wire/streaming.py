@@ -627,10 +627,10 @@ class StreamingDecoder:
         return error
 
     def _check_failed(self) -> None:
+        # Re-raise the *original* stored error: callers diagnosing a dead
+        # stream rely on message_index/offset/node surviving repeated feeds.
         if self._failed is not None:
-            raise StreamError(
-                f"decoder already failed: {self._failed}"
-            ) from self._failed
+            raise self._failed
 
 
 def decode_stream(graph: FormatGraph, chunks, *, plan: CodecPlan | None = None

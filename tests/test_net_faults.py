@@ -1,0 +1,573 @@
+"""Tests of the fault-injection transport layer and degraded-capture scoring.
+
+Covers the PR 6 surface: the seeded :class:`FaultPlan`/:class:`FaultInjector`
+link model, the loss-free delivery guarantee, adversarial truncation and
+corruption against the framed decoders, failure latching, faulted live
+sessions (recovery, resync accounting, diagnosis) and mid-rotation degraded
+captures feeding the resilience experiment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from random import Random
+
+import pytest
+
+from repro.core.errors import StreamError
+from repro.experiments import DegradedView, run_resilience
+from repro.net import (
+    Capture,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultyWriter,
+    ObfuscatedClient,
+    ObfuscatedServer,
+    connect_memory,
+    faulty_memory_pipe,
+    memory_pipe,
+)
+from repro.net.framing import (
+    MAX_RECORD_SIZE,
+    RECORD_HEADER,
+    RecordDecoder,
+    encode_record,
+    encode_rotation,
+    frame_payload,
+    make_decoder,
+    resolve_framing,
+)
+from repro.net.rotation import PlanBook, derive_session_key
+from repro.net.session import MemoryWriter, half_close
+from repro.protocols import registry
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec
+from repro.wire.streaming import StreamingDecoder
+
+
+def drive(plan: FaultPlan, payloads) -> tuple[list[bytes], "FaultInjector"]:
+    """Run a sequence of writes through a fresh injector, to exhaustion."""
+    injector = FaultInjector(plan)
+    chunks: list[bytes] = []
+    for payload in payloads:
+        chunks.extend(injector.push(payload))
+    chunks.extend(injector.flush())
+    return chunks, injector
+
+
+def request_generator(protocol: str):
+    for direction, _, generator in registry.get(protocol).directions():
+        if direction == "request":
+            return generator
+    raise LookupError(protocol)
+
+
+# ---------------------------------------------------------------------------
+# the plan artifact
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize("kwargs", [
+        {"segment_size": 0},
+        {"reorder_window": 0},
+        {"corrupt_burst": 0},
+        {"loss_rate": 1.5},
+        {"corrupt_rate": -0.1},
+        {"truncate_at": -1},
+    ])
+    def test_malformed_plans_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**kwargs)
+
+    def test_loss_free_models_are_not_lossy(self):
+        assert not FaultPlan.clean().lossy
+        assert not FaultPlan.reorder(0.5).lossy
+        assert not FaultPlan.duplicate(0.5).lossy
+        assert not FaultPlan.slow_loris().lossy
+
+    def test_damaging_models_are_lossy(self):
+        assert FaultPlan.loss(0.01).lossy
+        assert FaultPlan.corrupt(0.01).lossy
+        assert FaultPlan.truncate(100).lossy
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=7, loss_rate=0.1, reorder_rate=0.2,
+                         duplicate_rate=0.3, corrupt_rate=0.05,
+                         truncate_at=512, segment_size=16, jitter=False)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_fingerprint_is_stable_and_seed_sensitive(self):
+        plan = FaultPlan.reorder(0.25, seed=3)
+        assert plan.fingerprint == FaultPlan.reorder(0.25, seed=3).fingerprint
+        assert plan.fingerprint != plan.reseed(4).fingerprint
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": 1, "packet_loss": 0.5})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_describe_names_the_active_models(self):
+        text = FaultPlan(loss_rate=0.1, corrupt_rate=0.05, truncate_at=9).describe()
+        assert "loss=0.1" in text
+        assert "corrupt=0.05" in text
+        assert "truncate@9" in text
+
+
+# ---------------------------------------------------------------------------
+# the link model
+# ---------------------------------------------------------------------------
+
+
+LOSS_FREE_PLANS = [
+    FaultPlan.clean(seed=20),
+    FaultPlan.reorder(0.4, seed=21),
+    FaultPlan.duplicate(0.5, seed=22),
+    FaultPlan.slow_loris(seed=23),
+    FaultPlan(seed=24, segment_size=5, reorder_rate=0.3, duplicate_rate=0.3),
+]
+
+
+class TestFaultInjector:
+    def payloads(self, rng: Random, writes: int = 30) -> list[bytes]:
+        return [rng.randbytes(rng.randrange(1, 200)) for _ in range(writes)]
+
+    @pytest.mark.parametrize("plan", LOSS_FREE_PLANS, ids=lambda p: p.describe())
+    def test_loss_free_plans_deliver_the_stream_verbatim(self, plan):
+        payloads = self.payloads(Random(7))
+        chunks, injector = drive(plan, payloads)
+        assert b"".join(chunks) == b"".join(payloads)
+        assert injector.counters.delivered_bytes == sum(map(len, payloads))
+        assert injector.counters.undelivered_bytes == 0
+        assert not injector.cut
+
+    def test_replaying_a_lossy_plan_is_bit_identical(self):
+        plan = FaultPlan(seed=99, segment_size=32, loss_rate=0.1,
+                         reorder_rate=0.2, duplicate_rate=0.2, corrupt_rate=0.1)
+        payloads = self.payloads(Random(8))
+        first_chunks, first = drive(plan, payloads)
+        second_chunks, second = drive(plan, payloads)
+        assert first_chunks == second_chunks
+        assert first.counters.summary() == second.counters.summary()
+
+    def test_truncation_cuts_at_the_exact_offset(self):
+        stream = Random(9).randbytes(5000)
+        chunks, injector = drive(FaultPlan.truncate(1234, seed=1), [stream])
+        assert b"".join(chunks) == stream[:1234]
+        assert injector.cut
+        assert injector.counters.truncated
+        assert injector.counters.undelivered_bytes == 5000 - 1234
+        assert injector.counters.delivered_bytes == 1234
+
+    def test_loss_delivers_an_exact_stream_prefix(self):
+        stream = Random(10).randbytes(5000)
+        chunks, injector = drive(FaultPlan.loss(0.2, seed=2), [stream])
+        delivered = b"".join(chunks)
+        counters = injector.counters
+        assert counters.dropped > 0
+        assert delivered == stream[:len(delivered)]
+        assert counters.delivered_bytes + counters.undelivered_bytes == 5000
+
+    def test_corruption_damage_matches_the_counters(self):
+        stream = Random(11).randbytes(5000)
+        chunks, injector = drive(FaultPlan.corrupt(0.1, seed=3), [stream])
+        delivered = b"".join(chunks)
+        assert len(delivered) == len(stream)  # corruption never withholds bytes
+        damage = sum(a != b for a, b in zip(delivered, stream))
+        assert damage == injector.counters.corrupted_bytes > 0
+
+    def test_push_after_flush_is_refused(self):
+        injector = FaultInjector(FaultPlan.clean())
+        injector.flush()
+        with pytest.raises(FaultPlanError):
+            injector.push(b"late")
+
+    def test_pushes_after_the_cut_are_swallowed_and_counted(self):
+        injector = FaultInjector(FaultPlan.truncate(4))
+        injector.push(b"0123456789")
+        assert injector.cut
+        assert injector.push(b"after") == []
+        assert injector.counters.undelivered_bytes == 6 + 5
+
+
+# ---------------------------------------------------------------------------
+# satellite 1: loss-free schedules are invisible to the decoders
+# ---------------------------------------------------------------------------
+
+
+class TestLossFreeDecoding:
+    @pytest.mark.parametrize("passes", [0, 1, 2, 3, 4])
+    def test_loss_free_schedules_decode_identically(self, protocol_case, passes):
+        """Reordering, duplication and slow-loris feeds never change what a
+        session decodes — for every protocol at every obfuscation level."""
+        name, graph_factory, generator = protocol_case
+        graph = Obfuscator(seed=3).obfuscate(graph_factory(), passes).graph
+        framing = resolve_framing(graph, "auto")
+        codec = WireCodec(graph, seed=9)
+        rng = Random(17)
+        framed = [frame_payload(codec.serialize(generator(rng)), framing)
+                  for _ in range(4)]
+
+        def decode(chunks):
+            decoder = make_decoder(graph, framing)
+            decoded = []
+            for chunk in chunks:
+                decoded.extend(decoder.feed(chunk))
+            decoded.extend(decoder.feed_eof())
+            return decoded
+
+        clean = decode(framed)
+        assert len(clean) == 4
+        for plan in LOSS_FREE_PLANS:
+            chunks, _ = drive(plan, framed)
+            faulted = decode(chunks)
+            assert [d.raw for d in faulted] == [d.raw for d in clean]
+            assert [d.message for d in faulted] == [d.message for d in clean]
+            assert ([(d.start, d.end) for d in faulted]
+                    == [(d.start, d.end) for d in clean])
+            replayed, _ = drive(plan, framed)
+            assert replayed == chunks
+
+
+# ---------------------------------------------------------------------------
+# satellite 2: adversarial truncation and corruption always diagnose
+# ---------------------------------------------------------------------------
+
+
+class TestAdversarialDecoding:
+    def one_record(self, protocol_case) -> tuple[object, bytes, list]:
+        _, graph_factory, generator = protocol_case
+        graph = graph_factory()
+        codec = WireCodec(graph, seed=9)
+        payload, spans = codec.serialize_with_spans(generator(Random(17)))
+        return graph, payload, spans
+
+    def test_truncation_at_every_offset_raises_stream_error(self, protocol_case):
+        graph, payload, _ = self.one_record(protocol_case)
+        record = encode_record(payload)
+        for cut in range(1, len(record)):
+            decoder = RecordDecoder(graph)
+            decoder.feed(record[:cut])
+            with pytest.raises(StreamError) as excinfo:
+                decoder.feed_eof()
+            assert excinfo.value.message_index == 0
+
+    def test_corrupting_derived_bytes_raises_stream_error(self, protocol_case):
+        """Length and counter bytes (derived fields: spans without an origin)
+        are load-bearing; damaging any of them fails strict decoding."""
+        name, _, _ = protocol_case
+        graph, payload, spans = self.one_record(protocol_case)
+        derived = [s for s in spans if s.origin is None and s.end > s.start]
+        if not derived:
+            pytest.skip(f"{name} serializes no derived length/counter bytes")
+        for span in derived:
+            damaged = bytearray(payload)
+            damaged[span.start] ^= 0xFF
+            decoder = RecordDecoder(graph)
+            with pytest.raises(StreamError):
+                decoder.feed(encode_record(bytes(damaged)))
+                decoder.feed_eof()
+
+    def test_corrupting_the_record_length_prefix_is_terminal(self, protocol_case):
+        graph, payload, _ = self.one_record(protocol_case)
+        damaged = bytearray(encode_record(payload))
+        damaged[0] ^= 0xFF  # implausible length, beyond MAX_RECORD_SIZE
+        assert int.from_bytes(damaged[:RECORD_HEADER], "big") >= MAX_RECORD_SIZE
+        decoder = RecordDecoder(graph, resync=True)  # resync cannot save headers
+        with pytest.raises(StreamError):
+            decoder.feed(bytes(damaged))
+
+    def test_corrupt_rotation_key_id_raises_unknown_key(self):
+        key = derive_session_key("modbus", passes=1, seed=10)
+        book = PlanBook([key])
+        record = bytearray(encode_rotation(key.key_id))
+        record[RECORD_HEADER + 2] ^= 0xFF  # damage the announced key id
+        decoder = RecordDecoder(
+            key.request_graph,
+            key_resolver=lambda key_id: book.get(key_id).request_graph,
+        )
+        with pytest.raises(StreamError, match="unknown key"):
+            decoder.feed(bytes(record))
+
+    def test_rotation_without_a_plan_book_raises(self):
+        key = derive_session_key("modbus", passes=1, seed=10)
+        decoder = RecordDecoder(key.request_graph)
+        with pytest.raises(StreamError, match="plan book"):
+            decoder.feed(encode_rotation(key.key_id))
+
+    def test_truncated_rotation_record_raises_at_eof(self):
+        key = derive_session_key("modbus", passes=1, seed=10)
+        decoder = RecordDecoder(key.request_graph)
+        assert decoder.feed(encode_rotation(key.key_id)[:5]) == []
+        with pytest.raises(StreamError):
+            decoder.feed_eof()
+
+
+# ---------------------------------------------------------------------------
+# satellite 4: failure latching and idempotent half-close
+# ---------------------------------------------------------------------------
+
+
+class TestFailureLatching:
+    def test_record_decoder_re_raises_the_original_error(self):
+        graph = registry.get("modbus").reference_graph("request")
+        decoder = RecordDecoder(graph)
+        with pytest.raises(StreamError) as first:
+            decoder.feed(MAX_RECORD_SIZE.to_bytes(RECORD_HEADER, "big"))
+        for _ in range(2):
+            with pytest.raises(StreamError) as again:
+                decoder.feed(b"")
+            assert again.value is first.value
+            assert again.value.message_index == 0
+
+    def test_streaming_decoder_re_raises_the_original_error(self):
+        graph = registry.get("modbus").reference_graph("request")
+        payload = WireCodec(graph, seed=9).serialize(
+            request_generator("modbus")(Random(17)))
+        decoder = StreamingDecoder(graph)
+        decoder.feed(payload)           # message 0 decodes cleanly
+        decoder.feed(payload[:5])       # message 1 is cut mid-field
+        with pytest.raises(StreamError) as first:
+            decoder.feed_eof()
+        assert first.value.message_index == 1
+        for _ in range(2):
+            with pytest.raises(StreamError) as again:
+                decoder.feed(payload)
+            assert again.value is first.value
+            assert again.value.message_index == 1
+
+    def test_half_close_is_a_no_op_on_closing_writers(self):
+        async def scenario():
+            (_, writer), _ = memory_pipe()
+            writer.close()
+            half_close(writer)  # already closed: must not raise
+            half_close(writer)
+
+            (_, inner), _ = memory_pipe()
+            faulty = FaultyWriter(inner, FaultPlan.clean())
+            faulty.write(b"payload")
+            faulty.write_eof()
+            assert faulty.is_closing()
+            half_close(faulty)  # EOF already sent: must not raise
+            half_close(faulty)
+
+        asyncio.run(scenario())
+
+    def test_writes_after_the_fault_layer_eof_are_swallowed(self):
+        async def scenario():
+            (_, inner), _ = memory_pipe()
+            faulty = FaultyWriter(inner, FaultPlan.clean())
+            faulty.write(b"before")
+            faulty.write_eof()
+            faulty.write(b"after")  # died on the link, not in the application
+            assert faulty.counters.undelivered_bytes == len(b"after")
+            assert faulty.counters.delivered_bytes == len(b"before")
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# faulted live sessions
+# ---------------------------------------------------------------------------
+
+
+class TestFaultySessions:
+    def run_session(self, protocol: str, *, count: int = 6,
+                    request_faults: FaultPlan | None = None,
+                    response_faults: FaultPlan | None = None):
+        async def scenario():
+            server = ObfuscatedServer(protocol, seed=1)
+            client = ObfuscatedClient(protocol, seed=1)
+            connect_memory(client, server, request_faults=request_faults,
+                           response_faults=response_faults)
+            rng = Random(5)
+            generator = request_generator(protocol)
+            replies = [await client.request(generator(rng)) for _ in range(count)]
+            await client.close()
+            return replies, server.completed[0]
+
+        return asyncio.run(scenario())
+
+    def test_loss_free_faulted_session_equals_the_clean_run(self):
+        clean_replies, clean_stats = self.run_session("modbus")
+        replies, stats = self.run_session(
+            "modbus",
+            request_faults=FaultPlan.reorder(0.4, seed=21),
+            response_faults=FaultPlan.slow_loris(seed=23),
+        )
+        assert replies == clean_replies
+        assert stats.error is None
+        assert (stats.received, stats.sent) == (clean_stats.received,
+                                                clean_stats.sent)
+
+    def test_corrupt_requests_survive_via_resync_and_are_counted(self):
+        async def scenario():
+            server = ObfuscatedServer("http", resync=True)
+            client = ObfuscatedClient("http", resync=True)
+            connect_memory(client, server,
+                           request_faults=FaultPlan.corrupt(0.08, seed=0,
+                                                            segment_size=32))
+            rng = Random(3)
+            generator = request_generator("http")
+            sent = 10
+            for _ in range(sent):
+                await client.send(generator(rng))
+            half_close(client._writer)
+            replies = 0
+            while await client.receive() is not None:
+                replies += 1
+            await client.close()
+            stats = server.completed[0]
+            assert stats.error is None
+            assert stats.resyncs >= 1
+            assert stats.received + stats.resyncs == sent
+            assert replies == stats.received
+
+        asyncio.run(scenario())
+
+    def test_truncated_request_stream_is_diagnosed_as_a_stream_error(self):
+        async def scenario():
+            server = ObfuscatedServer("modbus", seed=1)
+            client = ObfuscatedClient("modbus", seed=1)
+            connect_memory(client, server,
+                           request_faults=FaultPlan.truncate(7, seed=1))
+            await client.send(request_generator("modbus")(Random(5)))
+            await client.close()
+            stats = server.completed[0]
+            assert stats.error is not None
+            assert stats.error.startswith("StreamError")
+            assert stats.received == 0
+
+        asyncio.run(scenario())
+
+    def test_faulty_memory_pipe_faults_exactly_the_requested_direction(self):
+        async def scenario():
+            (_, client_writer), (server_reader, server_writer) = \
+                faulty_memory_pipe(request_plan=FaultPlan.truncate(4, seed=1))
+            client_writer.write(b"0123456789")
+            assert await server_reader.read(100) == b"0123"
+            assert await server_reader.read(100) == b""  # cut half-closed it
+            assert isinstance(server_writer, MemoryWriter)  # response leg clean
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# satellite 3: mid-rotation degraded captures
+# ---------------------------------------------------------------------------
+
+
+class TestMidRotationCaptures:
+    def rotated_capture(self) -> tuple[Capture, list]:
+        """A client-side capture of a modbus session rotating once mid-way."""
+        keys = [derive_session_key("modbus", passes=1, seed=seed)
+                for seed in (10, 20)]
+
+        async def scenario():
+            capture = Capture()
+            server = ObfuscatedServer("modbus", plan_book=PlanBook(keys))
+            client = ObfuscatedClient("modbus", plan_book=PlanBook(keys),
+                                      capture=capture)
+            connect_memory(client, server)
+            rng = Random(5)
+            generator = request_generator("modbus")
+            for _ in range(4):
+                await client.request(generator(rng))
+            await client.rotate(keys[1].key_id)
+            for _ in range(4):
+                await client.request(generator(rng))
+            await client.close()
+            return capture
+
+        return asyncio.run(scenario()), keys
+
+    def test_capture_cut_between_rotations_round_trips_and_scores(self, tmp_path):
+        capture, keys = self.rotated_capture()
+        fingerprints = capture.plan_fingerprints()
+        assert capture.rotation_count() == 1
+        assert keys[1].request_fingerprint in fingerprints
+
+        # The degraded observer detached before the rotation boundary.
+        boundary = fingerprints.index(keys[1].request_fingerprint)
+        degraded = capture.slice(0, boundary)
+        assert len(degraded) == boundary == 4
+        assert degraded.rotation_count() == 0
+        assert keys[1].request_fingerprint not in degraded.plan_fingerprints()
+
+        path = tmp_path / "degraded.jsonl"
+        assert degraded.to_jsonl(path) == boundary
+        restored = Capture.from_jsonl(path)
+        assert restored.protocol == "modbus"
+        assert restored.plan_fingerprints() == degraded.plan_fingerprints()
+        assert restored.messages() == degraded.messages()
+        assert restored.rotation_count() == 0
+
+        report = run_resilience(capture=restored, passes_levels=(1,))
+        assert report.protocol == "modbus"
+        assert 0.0 <= report.obfuscated[1].boundary_f1 <= 1.0
+        # The pre-rotation slice must not leak the unseen segment's plan.
+        assert keys[1].request_fingerprint not in restored.plan_fingerprints()
+
+    def test_slices_keep_original_sequence_numbers(self):
+        capture, _ = self.rotated_capture()
+        tail = capture.slice(4)
+        assert [record.seq for record in tail] == [4, 5, 6, 7]
+        assert tail.byte_count() == sum(len(r.data) for r in capture) - \
+            capture.slice(0, 4).byte_count()
+
+
+# ---------------------------------------------------------------------------
+# degraded attacker views of the resilience experiment
+# ---------------------------------------------------------------------------
+
+
+class TestDegradedViews:
+    def test_unknown_kind_and_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DegradedView(kind="blurry")
+        with pytest.raises(ValueError):
+            DegradedView(fraction=0.0)
+        with pytest.raises(ValueError):
+            DegradedView(fraction=1.5)
+
+    def test_selection_shapes(self):
+        partial = DegradedView(kind="partial", fraction=0.5, seed=1)
+        kept = partial.keep_indices(10)
+        assert kept == sorted(set(kept)) and len(kept) == 5
+        assert partial.keep_indices(10) == kept  # deterministic
+
+        assert DegradedView(kind="truncated", fraction=0.3).keep_indices(10) \
+            == [0, 1, 2]
+
+        window = DegradedView(kind="window", fraction=0.4, seed=2).keep_indices(10)
+        assert window == list(range(window[0], window[0] + 4))
+
+        assert DegradedView(kind="mid_rotation").keep_indices(10, boundary=6) \
+            == [0, 1, 2, 3, 4, 5]
+        with pytest.raises(ValueError):
+            DegradedView(kind="mid_rotation").keep_indices(10)
+
+    @pytest.mark.parametrize("kind", ["partial", "truncated", "window"])
+    def test_degraded_views_score_every_level(self, kind):
+        report = run_resilience(passes_levels=(1,), repeats=1,
+                                view=DegradedView(kind=kind, fraction=0.5))
+        assert report.view == kind
+        assert 0.0 <= report.plain.boundary_f1 <= 1.0
+        assert 0.0 <= report.obfuscated[1].boundary_f1 <= 1.0
+
+    def test_mid_rotation_view_requires_a_rotated_trace(self):
+        with pytest.raises(ValueError):
+            run_resilience(passes_levels=(1,), repeats=1,
+                           view=DegradedView(kind="mid_rotation"))
+
+    def test_mid_rotation_view_scores_the_first_segment_only(self):
+        report = run_resilience(passes_levels=(1,), repeats=1, rotations=1,
+                                view=DegradedView(kind="mid_rotation"))
+        assert report.view == "mid_rotation"
+        assert 0.0 <= report.obfuscated[1].boundary_f1 <= 1.0

@@ -1,0 +1,159 @@
+"""Tests of the CoAP specification and core application."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.codegen import GeneratedCodec
+from repro.core import BoundaryKind, NodeType
+from repro.protocols import coap
+from repro.transforms import Obfuscator
+from repro.wire import WireCodec
+
+
+class TestCoapSpec:
+    def test_graph_scale_comparable_to_the_binary_families(self):
+        assert 10 <= coap.message_graph().stats().node_count <= 24
+
+    def test_contains_delimited_repetition_and_end(self):
+        graph = coap.message_graph()
+        kinds = {node.boundary.kind for node in graph.nodes()}
+        types = {node.type for node in graph.nodes()}
+        assert BoundaryKind.DELIMITED in kinds  # option list / payload marker
+        assert BoundaryKind.LENGTH in kinds     # message length, token, options
+        assert BoundaryKind.END in kinds        # payload to end of message
+        assert NodeType.REPETITION in types     # the TLV option list
+
+    def test_known_wire_layout_get(self):
+        codec = WireCodec(coap.message_graph(), seed=0)
+        message = coap.build_request(coap.GET, "sensors/temp",
+                                     message_id=0x1234, token=b"\xab")
+        # code, message length, id, token, Uri-Path x2, payload marker.
+        assert codec.serialize(message) == bytes.fromhex(
+            "01" "0014" "1234" "01" "ab"
+            "0b" "07" "73656e736f7273"   # delta 11 (Uri-Path), "sensors"
+            "00" "04" "74656d70"          # delta 0 (repeat), "temp"
+            "ff"
+        )
+
+    def test_known_wire_layout_post_with_payload(self):
+        codec = WireCodec(coap.message_graph(), seed=0)
+        message = coap.build_request(coap.POST, "valve", message_id=1,
+                                     payload=b"on", content_format=0)
+        assert codec.serialize(message) == bytes.fromhex(
+            "02" "0010" "0001" "00"
+            "0b" "05" "76616c7665"        # delta 11 (Uri-Path), "valve"
+            "01" "01" "00"                 # delta 1 (Content-Format), text/plain
+            "ff" "6f6e"
+        )
+
+    def test_known_wire_layout_empty_options(self):
+        codec = WireCodec(coap.message_graph(), seed=0)
+        message = coap.build_response(coap.DELETED, message_id=2)
+        # An empty option list is just the payload marker.
+        assert codec.serialize(message) == bytes.fromhex("42" "0004" "0002" "00" "ff")
+
+    def test_message_length_is_consistent(self, rng):
+        codec = WireCodec(coap.message_graph(), seed=0)
+        for _ in range(20):
+            data = codec.serialize(coap.random_request(rng))
+            assert int.from_bytes(data[1:3], "big") == len(data) - 3
+
+    def test_round_trip_random_requests(self, rng):
+        codec = WireCodec(coap.message_graph(), seed=0)
+        for _ in range(30):
+            message = coap.random_request(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    def test_round_trip_responses(self, rng):
+        codec = WireCodec(coap.message_graph(), seed=0)
+        for _ in range(30):
+            request = coap.random_request(rng)
+            response = coap.respond(request, rng)
+            assert response is not None
+            assert codec.parse(codec.serialize(response)) == response
+            assert (response.get("coap_body.coap_token")
+                    == request.get("coap_body.coap_token"))
+            assert (response.get("coap_body.coap_message_id")
+                    == request.get("coap_body.coap_message_id"))
+
+    def test_option_deltas_recover_absolute_numbers(self):
+        message = coap.build_request(
+            coap.GET, "sensors/temp", query=("unit=C",), message_id=9)
+        numbers = [number for number, _ in coap.decode_options(message)]
+        assert numbers == [coap.OPTION_URI_PATH, coap.OPTION_URI_PATH,
+                           coap.OPTION_URI_QUERY]
+        assert coap.uri_path(message) == "sensors/temp"
+
+    def test_option_deltas_never_reach_the_payload_marker(self, rng):
+        for _ in range(50):
+            message = coap.random_request(rng)
+            for index in range(message.list_length("coap_body.coap_options")):
+                delta = message.get(
+                    f"coap_body.coap_options[{index}].coap_option_delta")
+                assert delta != 0xFF
+
+    def test_unsupported_method_rejected(self):
+        with pytest.raises(ValueError):
+            coap.build_request(0x45, "x")  # a response code is not a method
+
+    def test_unsupported_response_code_rejected(self):
+        with pytest.raises(ValueError):
+            coap.build_response(coap.GET)  # a method is not a response code
+
+
+class TestCoapObfuscation:
+    @pytest.mark.parametrize("passes", [0, 1, 2, 3, 4])
+    def test_round_trip_under_obfuscation(self, passes, rng):
+        result = Obfuscator(seed=5).obfuscate(coap.message_graph(), passes)
+        codec = WireCodec(result.graph, seed=5)
+        for _ in range(8):
+            message = coap.random_request(rng)
+            assert codec.parse(codec.serialize(message)) == message
+
+    @pytest.mark.parametrize("passes", [0, 1, 2, 3, 4])
+    def test_interpreted_and_generated_codecs_interchangeable(self, passes, rng):
+        """Acceptance check: byte-for-byte codec identity at every level."""
+        result = Obfuscator(seed=11 + passes).obfuscate(
+            coap.message_graph(), passes)
+        interpreted = WireCodec(result.graph, seed=42)
+        generated = GeneratedCodec(result.graph, seed=42)
+        for _ in range(30):
+            message = coap.random_request(rng)
+            wire = interpreted.serialize(message)
+            assert generated.serialize(message) == wire
+            assert generated.parse(wire) == message
+            assert interpreted.parse(wire) == message
+
+    def test_obfuscated_wire_differs_from_plain(self, rng):
+        message = coap.random_request(rng, method=coap.POST)
+        plain = WireCodec(coap.message_graph(), seed=0).serialize(message)
+        obfuscated = WireCodec(
+            Obfuscator(seed=0).obfuscate(coap.message_graph(), 2).graph, seed=0
+        ).serialize(message)
+        assert plain != obfuscated
+
+
+class TestCoapSession:
+    def test_request_response_session(self):
+        import asyncio
+
+        from repro.net import ObfuscatedClient, ObfuscatedServer, connect_memory
+
+        async def scenario():
+            server = ObfuscatedServer("coap")
+            client = connect_memory(ObfuscatedClient("coap"), server)
+            rng = Random(4)
+            for _ in range(6):
+                request = coap.random_request(rng)
+                reply = await client.request(request)
+                assert reply.get("coap_code") in coap.RESPONSE_CODES
+                assert (reply.get("coap_body.coap_token")
+                        == request.get("coap_body.coap_token"))
+            await client.close()
+            assert server.completed[0].received == 6
+            assert server.completed[0].error is None
+
+        asyncio.run(scenario())
