@@ -16,7 +16,14 @@ straight into the PRE resilience study.
   pre-shared obfuscation plans that endpoints rotate through mid-session;
 * :mod:`repro.net.faults` — :class:`FaultPlan` / :class:`FaultInjector` /
   :class:`FaultyWriter`, the seeded hostile link (loss, reordering,
-  duplication, corruption, truncation, slow-loris) under any session;
+  duplication, corruption, truncation, slow-loris, connection cut,
+  indefinite stall) under any session, and :class:`ChaosSchedule`, the
+  seeded per-reconnect composition of connection-level faults;
+* :mod:`repro.net.resilience` — the deterministic session-resilience layer:
+  injectable clocks (:class:`RealClock` / :class:`VirtualClock`),
+  :class:`Deadline` / :class:`TimeoutConfig`, seeded-backoff
+  :class:`RetryPolicy`, :class:`CircuitBreaker` and the seed-replayable
+  :class:`ResilienceTrace` of every recovery decision;
 * :mod:`repro.net.capture` — :class:`Capture` records of the wire traffic
   (JSONL-portable, accepted by ``run_resilience`` and ``infer_formats``).
 
@@ -32,12 +39,27 @@ from ..wire.streaming import (
 )
 from .capture import Capture, CaptureError, CaptureRecord
 from .faults import (
+    ChaosSchedule,
     FaultCounters,
     FaultInjector,
     FaultPlan,
     FaultPlanError,
     FaultyWriter,
     faulty_memory_pipe,
+)
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    RealClock,
+    ResilienceError,
+    ResilienceTrace,
+    RetriesExhausted,
+    RetryPolicy,
+    TimeoutConfig,
+    VirtualClock,
+    retry_operation,
 )
 from .framing import (
     CorruptRecord,
@@ -62,7 +84,12 @@ __all__ = [
     "Capture",
     "CaptureError",
     "CaptureRecord",
+    "ChaosSchedule",
+    "CircuitBreaker",
+    "CircuitOpen",
     "CorruptRecord",
+    "Deadline",
+    "DeadlineExceeded",
     "DecodedMessage",
     "FaultCounters",
     "FaultInjector",
@@ -75,11 +102,18 @@ __all__ = [
     "ObfuscatedServer",
     "PlanBook",
     "ProxyStats",
+    "RealClock",
     "RecordDecoder",
+    "ResilienceError",
+    "ResilienceTrace",
+    "RetriesExhausted",
+    "RetryPolicy",
     "RotationEvent",
     "SessionKey",
     "SessionStats",
     "StreamingDecoder",
+    "TimeoutConfig",
+    "VirtualClock",
     "connect_memory",
     "decode_stream",
     "derive_session_key",
@@ -89,5 +123,6 @@ __all__ = [
     "is_self_framing",
     "memory_pipe",
     "resolve_framing",
+    "retry_operation",
     "stream_greedy_nodes",
 ]

@@ -50,7 +50,11 @@ from ..core.errors import ReproError
 #: Fault models composable in one plan (documentation / introspection aid).
 FAULT_MODELS = (
     "loss", "reorder", "duplicate", "corrupt", "truncate", "slowloris",
+    "cut", "stall",
 )
+
+#: Connection-level chaos scenarios a :class:`ChaosSchedule` can compose.
+CHAOS_SCENARIOS = ("cut", "stall", "loss_cut", "dial_flaky")
 
 
 class FaultPlanError(ReproError):
@@ -87,6 +91,14 @@ class FaultPlan:
     corrupt_burst: int = 2
     #: absolute stream offset where the connection is cut (``None`` = never).
     truncate_at: int | None = None
+    #: absolute stream offset of a **mid-session connection cut**: delivery
+    #: stops there and the transport is torn down abruptly — the peer
+    #: observes a connection reset, not a clean EOF (``None`` = never).
+    cut_at: int | None = None
+    #: absolute stream offset of an **indefinite stall**: every byte past it
+    #: is withheld and no EOF is ever signalled — the peer sees silence
+    #: forever, the failure mode only an idle-read deadline can diagnose.
+    stall_at: int | None = None
 
     def __post_init__(self) -> None:
         if self.segment_size < 1:
@@ -99,8 +111,10 @@ class FaultPlan:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise FaultPlanError(f"{name} must be within [0, 1] ({rate})")
-        if self.truncate_at is not None and self.truncate_at < 0:
-            raise FaultPlanError(f"truncate_at cannot be negative ({self.truncate_at})")
+        for name in ("truncate_at", "cut_at", "stall_at"):
+            offset = getattr(self, name)
+            if offset is not None and offset < 0:
+                raise FaultPlanError(f"{name} cannot be negative ({offset})")
 
     # -- canned single-model plans ---------------------------------------------
 
@@ -141,6 +155,17 @@ class FaultPlan:
         """Degenerate segmentation: the stream dribbles in byte-sized feeds."""
         return cls(seed=seed, segment_size=segment_size)
 
+    @classmethod
+    def cut(cls, at: int, *, seed: int = 0, segment_size: int = 64) -> "FaultPlan":
+        """Mid-session connection cut (reset, not EOF) at a stream offset."""
+        return cls(seed=seed, segment_size=segment_size, cut_at=at)
+
+    @classmethod
+    def stall(cls, at: int, *, seed: int = 0,
+              segment_size: int = 64) -> "FaultPlan":
+        """Indefinite stall at a stream offset: silence, never an EOF."""
+        return cls(seed=seed, segment_size=segment_size, stall_at=at)
+
     # -- properties ------------------------------------------------------------
 
     @property
@@ -152,7 +177,8 @@ class FaultPlan:
         the chunk boundaries the receiver observes change.
         """
         return (self.loss_rate > 0.0 or self.corrupt_rate > 0.0
-                or self.truncate_at is not None)
+                or self.truncate_at is not None or self.cut_at is not None
+                or self.stall_at is not None)
 
     def reseed(self, seed: int) -> "FaultPlan":
         """The same fault mix under a different seed."""
@@ -171,6 +197,10 @@ class FaultPlan:
             active.append(f"corrupt={self.corrupt_rate}/b{self.corrupt_burst}")
         if self.truncate_at is not None:
             active.append(f"truncate@{self.truncate_at}")
+        if self.cut_at is not None:
+            active.append(f"cut@{self.cut_at}")
+        if self.stall_at is not None:
+            active.append(f"stall@{self.stall_at}")
         active.append(f"seg<={self.segment_size}{'~' if self.jitter else ''}")
         return " ".join(active)
 
@@ -233,6 +263,10 @@ class FaultCounters:
     undelivered_bytes: int = 0
     #: True once the stream was cut (truncation fault or a loss gap).
     truncated: bool = False
+    #: True once the connection-cut fault reset the transport mid-session.
+    reset: bool = False
+    #: True once the stall fault silenced the stream without an EOF.
+    stalled: bool = False
 
     def summary(self) -> dict:
         """JSON-friendly snapshot (used by the benchmark report)."""
@@ -263,11 +297,37 @@ class FaultInjector:
         self._lost: set[int] = set()
         self._cut = False
         self._flushed = False
+        #: how the stream died: "truncate" / "cut" / "stall" / "loss" / None.
+        self._severed: str | None = None
+        limits = [(offset, kind)
+                  for offset, kind in ((plan.truncate_at, "truncate"),
+                                       (plan.cut_at, "cut"),
+                                       (plan.stall_at, "stall"))
+                  if offset is not None]
+        #: the earliest configured stream-death offset (ties: truncate wins,
+        #: matching the tuple order above).
+        self._limit = min(limits) if limits else None
 
     @property
     def cut(self) -> bool:
         """True once the fault layer has severed the stream."""
         return self._cut
+
+    @property
+    def severed(self) -> "str | None":
+        """The fault model that killed the stream (``None`` while alive)."""
+        return self._severed
+
+    def _sever(self, kind: str) -> None:
+        if self._severed is None:
+            self._severed = kind
+        counters = self.counters
+        if kind == "cut":
+            counters.reset = True
+        elif kind == "stall":
+            counters.stalled = True
+        else:
+            counters.truncated = True
 
     # -- the sender side -------------------------------------------------------
 
@@ -315,6 +375,8 @@ class FaultInjector:
             )
             self._pending.clear()
             self.counters.truncated = True
+            if self._severed is None:
+                self._severed = "loss"
             self._cut = True
         return delivered
 
@@ -336,17 +398,20 @@ class FaultInjector:
     def _transmit(self, segment: bytes) -> list[bytes]:
         plan = self.plan
         counters = self.counters
-        # Truncation: a hard cut at an absolute offset of the written stream.
-        if plan.truncate_at is not None:
-            if self._offset >= plan.truncate_at:
+        # Stream death at an absolute offset of the written stream: clean
+        # truncation (EOF), connection cut (reset) or indefinite stall
+        # (silence) — same delivery limit, different teardown semantics.
+        if self._limit is not None:
+            limit_at, limit_kind = self._limit
+            if self._offset >= limit_at:
                 counters.undelivered_bytes += len(segment)
-                counters.truncated = True
+                self._sever(limit_kind)
                 self._cut = True
                 return []
-            if self._offset + len(segment) > plan.truncate_at:
-                kept = plan.truncate_at - self._offset
+            if self._offset + len(segment) > limit_at:
+                kept = limit_at - self._offset
                 counters.undelivered_bytes += len(segment) - kept
-                counters.truncated = True
+                self._sever(limit_kind)
                 segment = segment[:kept]
 
         seq = self._seq
@@ -403,7 +468,8 @@ class FaultInjector:
                 still_held.append(entry)
         self._held = still_held
 
-        if (plan.truncate_at is not None and self._offset >= plan.truncate_at):
+        if self._limit is not None and self._offset >= self._limit[0]:
+            self._sever(self._limit[1])
             self._cut = True
         return delivered
 
@@ -461,11 +527,40 @@ class FaultyWriter:
         if self._eof_sent:
             return
         self._eof_sent = True
-        for chunk in self.injector.flush():
-            self._inner.write(chunk)
+        # An RST destroys in-flight data; every other ending releases what
+        # the reassembler can still deliver.
+        if self.injector.severed != "cut":
+            for chunk in self.injector.flush():
+                self._inner.write(chunk)
+        severed = self.injector.severed
+        if severed == "stall":
+            # The FIN is withheld with everything else: the peer observes
+            # silence forever, never an end of stream.
+            return
+        if severed == "cut":
+            self._reset_inner()
+            return
         from .session import half_close  # local: avoid an import cycle
 
         half_close(self._inner)
+
+    def _reset_inner(self) -> None:
+        """Abort the transport so the peer sees a reset, not a clean EOF."""
+        reset = getattr(self._inner, "reset", None)
+        if reset is not None:
+            reset()
+            return
+        transport = getattr(self._inner, "transport", None)
+        if transport is not None:
+            try:
+                transport.abort()
+                return
+            except Exception:  # pragma: no cover - transport already gone
+                pass
+        try:
+            self._inner.close()
+        except Exception:  # pragma: no cover - transport already gone
+            pass
 
     async def drain(self) -> None:
         await self._inner.drain()
@@ -475,6 +570,10 @@ class FaultyWriter:
 
     def close(self) -> None:
         self._finish()
+        if self.injector.severed == "stall":
+            # Closing the inner transport would deliver the EOF the stall
+            # fault withholds; the stalled connection stays half-dead.
+            return
         try:
             self._inner.close()
         except Exception:  # pragma: no cover - transport already gone
@@ -510,8 +609,131 @@ def faulty_memory_pipe(request_plan: FaultPlan | None = None,
     return (client_reader, client_writer), (server_reader, server_writer)
 
 
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded schedule of connection-level chaos across a session's life.
+
+    Where a :class:`FaultPlan` shapes one connection's byte stream, a chaos
+    schedule spans *reconnections*: it decides, per connection attempt, which
+    fault plan (if any) rides that link and whether the dial itself fails —
+    the recovery workload of the resilience layer.  The first ``failures``
+    attempts are hostile, everything after is clean, so a correctly retrying
+    endpoint always converges.  All offsets are drawn from generators seeded
+    by ``(seed, attempt)``, so a schedule is a pure function of its fields:
+    the chaos-soak benchmark replays the same seed and asserts bit-identical
+    recovery traces.
+
+    Scenarios (:data:`CHAOS_SCENARIOS`):
+
+    * ``cut`` — the link resets mid-session at a drawn offset;
+    * ``stall`` — the link goes silent mid-session (no EOF), the failure
+      only an idle-read deadline diagnoses;
+    * ``loss_cut`` — segment loss plus a mid-session reset (a damaged *and*
+      dying path);
+    * ``dial_flaky`` — the connection itself is refused until the link
+      heals, the workload of retry/backoff and the circuit breaker.
+    """
+
+    scenario: str
+    seed: int = 0
+    #: hostile connection attempts before the link heals.
+    failures: int = 1
+    #: offset range (inclusive lo, exclusive hi) cut/stall offsets draw from.
+    fault_window: tuple[int, int] = (24, 160)
+    #: segment loss rate of the ``loss_cut`` scenario's hostile attempts.
+    loss_rate: float = 0.04
+    #: link segment size of hostile attempts.
+    segment_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.scenario not in CHAOS_SCENARIOS:
+            raise FaultPlanError(
+                f"unknown chaos scenario {self.scenario!r}; expected one of "
+                f"{CHAOS_SCENARIOS}"
+            )
+        if self.failures < 0:
+            raise FaultPlanError(f"failures cannot be negative ({self.failures})")
+        lo, hi = self.fault_window
+        if not 0 <= lo < hi:
+            raise FaultPlanError(f"malformed fault_window {self.fault_window}")
+
+    def _rng(self, attempt: int) -> Random:
+        return Random(f"chaos:{self.seed}:{self.scenario}:{attempt}")
+
+    def dial_fails(self, attempt: int) -> bool:
+        """Does connection attempt ``attempt`` (1-based) fail to dial?"""
+        return self.scenario == "dial_flaky" and attempt <= self.failures
+
+    def plan_for_attempt(self, attempt: int) -> "FaultPlan | None":
+        """The fault plan riding connection attempt ``attempt`` (1-based).
+
+        ``None`` means a clean link — healed attempts, and every attempt of
+        the ``dial_flaky`` scenario (its faults live at the dial, not on the
+        stream).
+        """
+        if attempt < 1:
+            raise FaultPlanError(f"attempts are 1-based ({attempt})")
+        if attempt > self.failures or self.scenario == "dial_flaky":
+            return None
+        rng = self._rng(attempt)
+        offset = rng.randrange(*self.fault_window)
+        seed = rng.randrange(1 << 30)
+        if self.scenario == "cut":
+            return FaultPlan(seed=seed, segment_size=self.segment_size,
+                             cut_at=offset)
+        if self.scenario == "stall":
+            return FaultPlan(seed=seed, segment_size=self.segment_size,
+                             stall_at=offset)
+        return FaultPlan(seed=seed, segment_size=self.segment_size,
+                         loss_rate=self.loss_rate, cut_at=offset)
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["fault_window"] = list(self.fault_window)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosSchedule":
+        known = {entry.name for entry in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown chaos schedule field(s): {', '.join(sorted(unknown))}"
+            )
+        payload = dict(payload)
+        if "fault_window" in payload:
+            payload["fault_window"] = tuple(payload["fault_window"])
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise FaultPlanError(f"malformed chaos schedule: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise FaultPlanError(
+                f"chaos schedule is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise FaultPlanError("chaos schedule JSON must be an object")
+        return cls.from_dict(payload)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable short identifier of the schedule (canonical-JSON digest)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+
+
 __all__ = [
+    "CHAOS_SCENARIOS",
     "FAULT_MODELS",
+    "ChaosSchedule",
     "FaultCounters",
     "FaultInjector",
     "FaultPlan",

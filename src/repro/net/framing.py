@@ -162,6 +162,10 @@ class RecordDecoder:
         self.resync = resync
         #: records skipped under resync (mirrors the CorruptRecord events).
         self.corrupt_count = 0
+        #: payload bytes discarded by resync skips.
+        self.skipped_bytes = 0
+        #: rotation control records followed (plan switches in this stream).
+        self.rotations = 0
         #: key id of the plan currently in force (None until the first rotation).
         self.current_key: str | None = None
         self._buffer = bytearray()
@@ -177,6 +181,16 @@ class RecordDecoder:
     @property
     def decoded_count(self) -> int:
         return self._decoded
+
+    def counters(self) -> dict:
+        """Decode accounting of this stream (diagnosis / bench reporting)."""
+        return {
+            "records": self._decoded,
+            "rotations": self.rotations,
+            "corrupt_skipped": self.corrupt_count,
+            "skipped_bytes": self.skipped_bytes,
+            "buffered": len(self._buffer),
+        }
 
     def feed(self, data: bytes) -> "list[DecodedMessage | RotationEvent | CorruptRecord]":
         self._check_failed()
@@ -258,6 +272,7 @@ class RecordDecoder:
                 self.graph = graph
                 self._parser = Parser(graph, plan=plan_for(graph))
                 self.current_key = key_id
+                self.rotations += 1
                 completed.append(RotationEvent(key_id))
                 continue
             if size >= MAX_RECORD_SIZE:
@@ -283,6 +298,7 @@ class RecordDecoder:
                     start = self._payload_offset
                     self._payload_offset += size
                     self.corrupt_count += 1
+                    self.skipped_bytes += size
                     completed.append(CorruptRecord(
                         raw=payload, start=start, end=self._payload_offset,
                         error=wrapped,

@@ -27,6 +27,16 @@ from ..wire.serializer import Serializer
 from .capture import Capture
 from .faults import FaultPlan, FaultyWriter
 from .framing import CorruptRecord, frame_payload, make_decoder, resolve_framing
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RealClock,
+    ResilienceTrace,
+    RetryPolicy,
+    TimeoutConfig,
+    retry_operation,
+)
 from .session import _MessagePump, half_close
 
 
@@ -39,6 +49,10 @@ class ProxyStats:
     responses: int = 0
     #: corrupt records skipped by framing resync (resync-enabled proxies).
     resyncs: int = 0
+    #: failed upstream dial attempts behind this session.
+    dial_failures: int = 0
+    #: upstream dials re-driven by the retry policy.
+    retries: int = 0
     error: str | None = None
 
 
@@ -78,7 +92,11 @@ class ObfuscatedProxy:
                  seed: int = 0,
                  capture: Capture | None = None,
                  record_spans: bool | None = None,
-                 resync: bool = False):
+                 resync: bool = False,
+                 timeouts: TimeoutConfig | None = None,
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 clock=None):
         self.setup = (registry.get(protocol) if isinstance(protocol, str)
                       else protocol)
         #: skip corrupt records at record boundaries instead of failing the
@@ -108,21 +126,39 @@ class ObfuscatedProxy:
         self.completed: list[ProxyStats] = []
         self._tcp_server: asyncio.AbstractServer | None = None
         self._upstream_factory = None
+        #: upstream dial resilience: per-dial deadline, seeded retry/backoff,
+        #: and a circuit breaker refusing fast while the upstream is down.
+        self.timeouts = timeouts if timeouts is not None else TimeoutConfig()
+        self.retry = retry
+        self._clock = clock if clock is not None else RealClock()
+        self.trace = ResilienceTrace()
+        self.breaker = breaker
+        if self.breaker is not None and self.breaker.trace is None:
+            self.breaker.trace = self.trace
+        #: failed upstream dials across the proxy's lifetime.
+        self.dial_failures = 0
 
     # -- bridging --------------------------------------------------------------
 
     async def bridge(self, client_reader, client_writer,
                      upstream_reader, upstream_writer, *,
                      session_id: str | None = None,
-                     upstream_faults: FaultPlan | None = None) -> ProxyStats:
+                     upstream_faults: FaultPlan | None = None,
+                     dial_stats: "ProxyStats | None" = None) -> ProxyStats:
         """Pump both directions of one session until both sides hit EOF.
 
         ``upstream_faults`` puts a seeded hostile link under the proxy's
         upstream write leg — the obfuscated segment the threat model exposes.
+        ``dial_stats`` carries the dial-retry accounting of the connection
+        phase into this session's completed entry.
         """
-        session = (session_id if session_id is not None
-                   else f"proxy-{next(self._session_ids)}")
-        stats = ProxyStats(session)
+        if dial_stats is not None:
+            stats = dial_stats
+            session = stats.session
+        else:
+            session = (session_id if session_id is not None
+                       else f"proxy-{next(self._session_ids)}")
+            stats = ProxyStats(session)
         if upstream_faults is not None:
             upstream_writer = FaultyWriter(upstream_writer, upstream_faults)
 
@@ -209,20 +245,76 @@ class ObfuscatedProxy:
 
     # -- TCP front-end ---------------------------------------------------------
 
+    async def dial_upstream(self, host: str, port: int, *,
+                            stats: "ProxyStats | None" = None):
+        """Dial the upstream under the connect deadline, retry policy and breaker.
+
+        Every failed attempt is counted (``stats.dial_failures`` and the
+        proxy-wide ``dial_failures``) and recorded on the breaker; an open
+        breaker refuses immediately with
+        :class:`~repro.net.resilience.CircuitOpen` — the fast-fail that
+        protects a dying upstream from a dial storm.
+        """
+
+        async def once():
+            deadline = Deadline.after(self._clock, self.timeouts.connect,
+                                      operation="upstream connect")
+            try:
+                return await deadline.wait_for(asyncio.open_connection(host, port))
+            except (OSError, DeadlineExceeded) as exc:
+                self.dial_failures += 1
+                if stats is not None:
+                    stats.dial_failures += 1
+                self.trace.record("dial_failure", error=type(exc).__name__)
+                raise
+
+        if self.retry is None:
+            if self.breaker is not None:
+                self.breaker.check("upstream dial")
+                try:
+                    result = await once()
+                except (OSError, asyncio.TimeoutError, TimeoutError):
+                    self.breaker.record_failure()
+                    raise
+                self.breaker.record_success()
+                return result
+            return await once()
+
+        async def note_retry(attempt, exc):
+            if stats is not None:
+                stats.retries += 1
+
+        return await retry_operation(
+            once, self.retry, clock=self._clock, breaker=self.breaker,
+            trace=self.trace, label="upstream_dial", on_retry=note_retry,
+        )
+
     async def start_tcp(self, upstream_host: str, upstream_port: int,
                         host: str = "127.0.0.1", port: int = 0
                         ) -> tuple[str, int]:
         """Listen on ``host:port``, bridging every session to ``upstream``."""
 
         async def handle(reader, writer):
+            session = f"proxy-{next(self._session_ids)}"
+            stats = ProxyStats(session)
             try:
-                up_reader, up_writer = await asyncio.open_connection(
-                    upstream_host, upstream_port)
-            except OSError:
+                up_reader, up_writer = await self.dial_upstream(
+                    upstream_host, upstream_port, stats=stats)
+            except Exception as exc:
+                # A failed upstream dial is a diagnosed, recorded session —
+                # never a silent drop — and the rejected client connection is
+                # torn down completely, not left half-closed.
+                stats.error = f"{type(exc).__name__}: {exc}"
+                self.completed.append(stats)
                 writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, ConnectionError):  # pragma: no cover
+                    pass
                 return
             try:
-                await self.bridge(reader, writer, up_reader, up_writer)
+                await self.bridge(reader, writer, up_reader, up_writer,
+                                  session_id=session, dial_stats=stats)
             except Exception:
                 pass
             finally:

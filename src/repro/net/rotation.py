@@ -133,6 +133,11 @@ class PlanBook:
     Both endpoints of a session must hold books agreeing on every key id they
     rotate through; the first registered key is the session's initial dialect
     unless the endpoint overrides its graphs explicitly.
+
+    The book is also what makes **reconnect-with-rotation-resume** possible:
+    a client re-dialing after a mid-session cut re-announces only its last
+    announced key id, and both sides resolve the full dialect from their own
+    books — rotation state survives the transport, never crosses the wire.
     """
 
     def __init__(self, keys: "list[SessionKey] | None" = None):
@@ -166,6 +171,10 @@ class PlanBook:
     def key_ids(self) -> tuple[str, ...]:
         """Registered key ids, in insertion order."""
         return tuple(self._keys)
+
+    def keys(self) -> tuple[SessionKey, ...]:
+        """Registered session keys, in insertion order."""
+        return tuple(self._keys.values())
 
     def __len__(self) -> int:
         return len(self._keys)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from random import Random
 
@@ -55,10 +56,25 @@ from .framing import (
     make_decoder,
     resolve_framing,
 )
+from .resilience import (
+    Deadline,
+    DeadlineExceeded,
+    RealClock,
+    ResilienceTrace,
+    RetryPolicy,
+    TimeoutConfig,
+    retry_operation,
+)
 from .rotation import PlanBook, SessionKey
 
 #: Read granularity of the session pumps.
 CHUNK_SIZE = 1 << 16
+
+#: Failures a resilient client treats as retryable on a request: transport
+#: deaths (cut, reset, refused dial), deadline overruns (stall diagnosed by
+#: idle-read/request timeouts) and mid-record stream deaths.
+RETRYABLE = (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError,
+             StreamError)
 
 #: The session-driver hook signature (canonical definition lives on the
 #: registry, next to ``ProtocolSetup.responder``).
@@ -105,6 +121,20 @@ class MemoryWriter:
         if not self._closed:
             self._closed = True
             self.write_eof()
+
+    def reset(self) -> None:
+        """Abort the stream: the peer's pending reads raise a reset.
+
+        The memory-transport counterpart of a TCP RST — used by the fault
+        layer's connection-cut model, where the peer must observe an abrupt
+        transport death rather than a clean end of stream.
+        """
+        if not self._closed:
+            self._closed = True
+            self._eof_sent = True
+            self._peer.set_exception(
+                ConnectionResetError("connection reset by peer (fault cut)")
+            )
 
     def is_closing(self) -> bool:
         return self._closed
@@ -158,14 +188,16 @@ class _MessagePump:
     def __init__(self, reader: asyncio.StreamReader, decoder):
         self._reader = reader
         self._decoder = decoder
-        self._pending: list[DecodedMessage] = []
+        # A deque: bursty feeds can park hundreds of decoded messages here,
+        # and a list's pop(0) would shift them all on every delivery.
+        self._pending: deque[DecodedMessage] = deque()
         self._eof = False
 
     async def next(self) -> DecodedMessage | None:
         """The next framed message, or ``None`` at a clean end of stream."""
         while True:
             if self._pending:
-                return self._pending.pop(0)
+                return self._pending.popleft()
             if self._eof:
                 return None
             chunk = await self._reader.read(CHUNK_SIZE)
@@ -291,6 +323,14 @@ class SessionStats:
     rotations: int = 0
     #: corrupt records skipped by framing resync (resync-enabled sessions).
     resyncs: int = 0
+    #: request attempts re-driven by the retry policy after a failure.
+    retries: int = 0
+    #: successful re-dials of a resilient client after a transport death.
+    reconnects: int = 0
+    #: deadline overruns diagnosed (connect/request/idle-read timeouts).
+    timeouts: int = 0
+    #: teardown waits abandoned at the drain deadline (close / server stop).
+    drain_cancels: int = 0
     error: str | None = None
 
 
@@ -324,7 +364,10 @@ class ObfuscatedServer:
                  record_spans: bool | None = None,
                  capture_received: bool = False,
                  plan_book: PlanBook | None = None,
-                 resync: bool = False):
+                 resync: bool = False,
+                 timeouts: TimeoutConfig | None = None,
+                 max_sessions: int | None = None,
+                 clock=None):
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
             framing=framing, seed=seed, capture=capture,
@@ -337,11 +380,23 @@ class ObfuscatedServer:
         #: recover from corrupt record payloads at the next record boundary
         #: (requires record framing; see make_decoder).
         self.resync = resync
+        #: per-operation deadlines; ``idle_read`` reaps silent sessions.
+        self.timeouts = timeouts if timeouts is not None else TimeoutConfig()
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1 ({max_sessions})")
+        #: concurrent-session admission bound (None = unbounded).
+        self.max_sessions = max_sessions
+        self._clock = clock if clock is not None else RealClock()
+        #: typed recovery decisions (reaps, drain cancels) of this server.
+        self.trace = ResilienceTrace()
         self._responder_rng = Random(seed + 0x5EED)
         self._response_serializer = self._endpoint.serializer("response")
         self._session_ids = itertools.count(1)
         self.completed: list[SessionStats] = []
         self._tcp_server: asyncio.AbstractServer | None = None
+        self._active: set[asyncio.Task] = set()
+        self._semaphore: asyncio.Semaphore | None = None
+        self._accepting = True
 
     @property
     def endpoint(self) -> _Endpoint:
@@ -366,13 +421,28 @@ class ObfuscatedServer:
         byte stream (the server→client direction); with ``resync=True`` on the
         server, corrupt request records are skipped at record boundaries and
         counted in ``stats.resyncs`` instead of killing the session.
+
+        A server with ``timeouts.idle_read`` set **reaps** sessions that stay
+        silent past the deadline (typed ``DeadlineExceeded`` stats entry, not
+        an exception); ``max_sessions`` bounds concurrent admission through a
+        semaphore, and ``stop(drain=True)`` cancellation lands here as a
+        typed ``DrainCancelled`` stats entry.
         """
+        if not self._accepting:
+            raise ConnectionError("server is stopping; new sessions refused")
         endpoint = self._endpoint
         book = endpoint.plan_book
         session = (session_id if session_id is not None
                    else f"session-{next(self._session_ids)}")
         if fault_plan is not None:
             writer = FaultyWriter(writer, fault_plan)
+        if self.max_sessions is not None:
+            if self._semaphore is None:
+                self._semaphore = asyncio.Semaphore(self.max_sessions)
+            await self._semaphore.acquire()
+        task = asyncio.current_task()
+        if task is not None:
+            self._active.add(task)
         key_resolver = None
         if book is not None:
             key_resolver = lambda key_id: book.get(key_id).request_graph  # noqa: E731
@@ -386,9 +456,24 @@ class ObfuscatedServer:
                                else endpoint.serializer("response"))
         request_fingerprint = endpoint.request_fingerprint
         response_fingerprint = endpoint.response_fingerprint
+        idle = self.timeouts.idle_read
         try:
             while True:
-                decoded = await pump.next()
+                if idle is None:
+                    decoded = await pump.next()
+                else:
+                    try:
+                        decoded = await self._clock.wait_for(pump.next(), idle)
+                    except (asyncio.TimeoutError, TimeoutError):
+                        # Idle reap: a diagnosed end, not a failure — the
+                        # session went silent past the deadline (stalled link
+                        # or vanished peer) and its slot is reclaimed.
+                        stats.timeouts += 1
+                        stats.error = (f"DeadlineExceeded: idle-read reaped "
+                                       f"after {idle:g}s of silence")
+                        self.trace.record("timeout", op="idle_reap",
+                                          session=session)
+                        break
                 if decoded is None:
                     break
                 if isinstance(decoded, RotationEvent):
@@ -419,11 +504,21 @@ class ObfuscatedServer:
                 await writer.drain()
                 stats.sent += 1
                 stats.bytes_sent += len(payload)
+        except asyncio.CancelledError:
+            # Straggler cancelled at the drain deadline (or torn down by a
+            # reconnecting peer): a typed entry, never a silent disappearance.
+            stats.drain_cancels += 1
+            stats.error = "DrainCancelled: session cancelled at stop/teardown"
+            raise
         except Exception as exc:
             stats.error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
             self.completed.append(stats)
+            if task is not None:
+                self._active.discard(task)
+            if self._semaphore is not None:
+                self._semaphore.release()
             try:
                 writer.close()
             except Exception:  # pragma: no cover - transport already gone
@@ -439,6 +534,11 @@ class ObfuscatedServer:
         async def handle(reader, writer):
             try:
                 await self.serve_session(reader, writer)
+            except asyncio.CancelledError:
+                # A drain-deadline cancellation already produced its typed
+                # stats entry; swallowing it here keeps asyncio's stream
+                # machinery from logging the cancelled connection task.
+                pass
             except Exception:
                 # Session errors are recorded in stats; keep the server up.
                 pass
@@ -447,11 +547,40 @@ class ObfuscatedServer:
         sockname = self._tcp_server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
-    async def stop(self) -> None:
+    async def stop(self, *, drain: bool = False,
+                   deadline: "float | None" = None) -> None:
+        """Stop accepting; optionally drain in-flight sessions first.
+
+        With ``drain=True`` the server stops admitting new sessions, awaits
+        the in-flight ones until ``deadline`` (default: ``timeouts.drain``)
+        elapses on the server's clock, then **cancels the stragglers** — each
+        lands in ``completed`` with a typed ``DrainCancelled`` stats entry
+        and a ``drain_cancel`` trace event, so a graceful shutdown is fully
+        accounted: nothing hangs, nothing disappears.
+        """
+        self._accepting = False
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
             self._tcp_server = None
+        if not drain:
+            return
+        budget = deadline if deadline is not None else self.timeouts.drain
+        pending = {task for task in self._active if not task.done()}
+        if not pending:
+            return
+        try:
+            await self._clock.wait_for(
+                asyncio.gather(*(asyncio.shield(task) for task in pending),
+                               return_exceptions=True),
+                budget,
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            for task in pending:
+                if not task.done():
+                    task.cancel()
+                    self.trace.record("drain_cancel", op="server_stop")
+            await asyncio.gather(*pending, return_exceptions=True)
 
 
 # ---------------------------------------------------------------------------
@@ -481,7 +610,10 @@ class ObfuscatedClient:
                  capture_received: bool = False,
                  session_id: str | None = None,
                  plan_book: PlanBook | None = None,
-                 resync: bool = False):
+                 resync: bool = False,
+                 timeouts: TimeoutConfig | None = None,
+                 retry: RetryPolicy | None = None,
+                 clock=None):
         self.resync = resync
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
@@ -491,6 +623,13 @@ class ObfuscatedClient:
         )
         self.session_id = (session_id if session_id is not None
                            else f"client-{next(self._ids)}")
+        #: per-operation deadlines (connect / request / idle-read / drain).
+        self.timeouts = timeouts if timeouts is not None else TimeoutConfig()
+        #: default retry policy of request()/dials (None = fail fast).
+        self.retry = retry
+        self._clock = clock if clock is not None else RealClock()
+        #: ordered, seed-replayable record of every recovery decision.
+        self.trace = ResilienceTrace()
         self._request_serializer = self._endpoint.serializer("request")
         self._request_fingerprint = self._endpoint.request_fingerprint
         self._response_fingerprint = self._endpoint.response_fingerprint
@@ -498,6 +637,10 @@ class ObfuscatedClient:
         self._writer = None
         self._pump: _MessagePump | None = None
         self._server_task: asyncio.Task | None = None
+        #: async () -> (reader, writer): how to re-dial this session's peer.
+        self._reconnect_factory = None
+        #: key id announced on the wire (reconnects resume on this key).
+        self._announced_key: str | None = None
         self.stats = SessionStats(self.session_id)
 
     @property
@@ -526,12 +669,111 @@ class ObfuscatedClient:
         return self
 
     async def connect_tcp(self, host: str, port: int) -> "ObfuscatedClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        """Dial ``host:port`` under the connect deadline and retry policy."""
+
+        async def factory():
+            return await asyncio.open_connection(host, port)
+
+        self._reconnect_factory = factory
+        reader, writer = await self._dial()
         return self.attach(reader, writer)
 
     def connect_memory(self, server: ObfuscatedServer) -> "ObfuscatedClient":
         """Open an in-process session; the server side runs as a task."""
         return connect_memory(self, server)
+
+    def set_reconnect(self, factory) -> "ObfuscatedClient":
+        """Install how this session re-dials its peer.
+
+        ``factory`` is an async zero-argument callable returning a fresh
+        ``(reader, writer)`` pair (it may wrap the writer in a
+        :class:`~repro.net.faults.FaultyWriter` itself — the chaos harness
+        threads per-attempt fault plans through exactly this hook).
+        ``connect_tcp`` and :func:`connect_memory` install theirs
+        automatically.
+        """
+        self._reconnect_factory = factory
+        return self
+
+    async def _dial(self):
+        """One (possibly retried) dial through the reconnect factory."""
+        if self._reconnect_factory is None:
+            raise ConnectionError(
+                "client has no reconnect factory; connect with connect_tcp/"
+                "connect_memory or install one with set_reconnect()"
+            )
+
+        async def once():
+            deadline = Deadline.after(self._clock, self.timeouts.connect,
+                                      operation="connect")
+            try:
+                return await deadline.wait_for(self._reconnect_factory())
+            except DeadlineExceeded:
+                self.stats.timeouts += 1
+                self.trace.record("timeout", op="connect")
+                raise
+
+        if self.retry is None:
+            return await once()
+
+        async def note_retry(attempt, exc):
+            self.stats.retries += 1
+
+        return await retry_operation(
+            once, self.retry, clock=self._clock, trace=self.trace,
+            label="connect", on_retry=note_retry,
+        )
+
+    async def reconnect(self) -> "ObfuscatedClient":
+        """Re-dial the peer, re-attach, and resume the session's dialect.
+
+        Tears down the dead transport, dials a fresh one through the
+        reconnect factory (connect deadline and seeded retry/backoff apply),
+        and — when a rotation was announced on the old connection — **replays
+        the rotation state**: the client re-announces the last announced key
+        id with a control record and re-attaches its codecs to that dialect,
+        so the resumed session continues exactly where the cut left it.  Only
+        the key id crosses the wire; the server resolves it from its own
+        :class:`~repro.net.rotation.PlanBook`, the PR 5 model.
+        """
+        await self._teardown_transport()
+        reader, writer = await self._dial()
+        self.attach(reader, writer)
+        self.stats.reconnects += 1
+        self.trace.record("reconnect", reconnects=self.stats.reconnects)
+        if self._announced_key is not None:
+            key = self._endpoint.plan_book.get(self._announced_key)
+            self._writer.write(encode_rotation(key.key_id))
+            await self._writer.drain()
+            decoder = self._pump._decoder
+            decoder.rotate_to(key.response_graph, key_id=key.key_id)
+            # The request serializer and fingerprints already track the
+            # announced key; only the fresh transport needed re-announcing.
+            self.trace.record("resume", key_id=key.key_id)
+        return self
+
+    async def _teardown_transport(self) -> None:
+        """Release a dead transport (and its server task) before re-dialing."""
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        old_task, self._server_task = self._server_task, None
+        if old_task is not None and not old_task.done():
+            # A healthy peer completes once it sees our EOF; a peer wedged on
+            # a stalled link is cancelled at the drain deadline (it records
+            # its own typed stats entry).
+            try:
+                await self._clock.wait_for(asyncio.shield(old_task),
+                                           self.timeouts.drain)
+            except (asyncio.TimeoutError, TimeoutError):
+                old_task.cancel()
+            except Exception:
+                pass
+        if old_task is not None:
+            await asyncio.gather(old_task, return_exceptions=True)
+        self._reader = self._writer = self._pump = None
 
     # -- talking ---------------------------------------------------------------
 
@@ -549,18 +791,32 @@ class ObfuscatedClient:
         self.stats.bytes_sent += len(payload)
         return payload
 
-    async def receive(self) -> DecodedMessage | None:
+    async def receive(self, *, timeout=...) -> DecodedMessage | None:
         """Await the next framed response (``None`` at end of stream).
 
         On a resync-enabled client, corrupt response records are skipped
-        (counted in ``stats.resyncs``) and the wait continues.
+        (counted in ``stats.resyncs`` and traced) and the wait continues.
+        ``timeout`` overrides ``timeouts.idle_read`` (``None`` = unbounded);
+        a silent peer past the deadline raises :class:`DeadlineExceeded`
+        with a ``timeout`` stats/trace entry — the stall diagnosis.
         """
         if self._pump is None:
             raise ConnectionError("client is not connected")
+        idle = self.timeouts.idle_read if timeout is ... else timeout
         while True:
-            decoded = await self._pump.next()
+            if idle is None:
+                decoded = await self._pump.next()
+            else:
+                try:
+                    decoded = await self._clock.wait_for(self._pump.next(), idle)
+                except (asyncio.TimeoutError, TimeoutError) as exc:
+                    self.stats.timeouts += 1
+                    self.trace.record("timeout", op="idle_read")
+                    raise DeadlineExceeded("idle_read", idle) from exc
             if isinstance(decoded, CorruptRecord):
                 self.stats.resyncs += 1
+                self.trace.record("resync", start=decoded.start,
+                                  end=decoded.end)
                 continue
             break
         if decoded is not None:
@@ -570,15 +826,60 @@ class ObfuscatedClient:
                                            plan_fingerprint=self._response_fingerprint)
         return decoded
 
-    async def request(self, message: Message) -> Message:
-        """Send one request and await its reply (logical message)."""
-        await self.send(message)
-        decoded = await self.receive()
-        if decoded is None:
-            raise ConnectionError(
-                f"session {self.session_id}: server closed before replying"
-            )
-        return decoded.message
+    async def request(self, message: Message, *,
+                      retry: "RetryPolicy | None" = None,
+                      timeout=...) -> Message:
+        """Send one request and await its reply (logical message).
+
+        ``timeout`` bounds the whole round trip (default:
+        ``timeouts.request``; ``None`` = unbounded).  With a ``retry``
+        policy (default: the client's), a retryable failure — transport
+        death, deadline overrun, mid-record stream death — **reconnects**
+        through the reconnect factory after the policy's seeded backoff
+        delay and re-drives the request, resuming any announced rotation
+        key; the schedule is a pure function of the policy's seed, so a
+        session's recovery trace replays bit-identically.
+        """
+        policy = retry if retry is not None else self.retry
+        if policy is None:
+            return await self._request_once(message, timeout)
+
+        async def once():
+            return await self._request_once(message, timeout)
+
+        async def reconnect_and_count(attempt, exc):
+            self.stats.retries += 1
+            await self.reconnect()
+
+        return await retry_operation(
+            once, policy, clock=self._clock, trace=self.trace,
+            retryable=RETRYABLE, label="request",
+            on_retry=reconnect_and_count,
+        )
+
+    async def _request_once(self, message: Message, timeout=...) -> Message:
+        """One unretried round trip under the request deadline."""
+        budget = self.timeouts.request if timeout is ... else timeout
+
+        async def round_trip():
+            await self.send(message)
+            decoded = await self.receive()
+            if decoded is None:
+                raise ConnectionError(
+                    f"session {self.session_id}: server closed before replying"
+                )
+            return decoded.message
+
+        if budget is None:
+            return await round_trip()
+        deadline = Deadline.after(self._clock, budget, operation="request")
+        try:
+            return await deadline.wait_for(round_trip())
+        except DeadlineExceeded as exc:
+            if exc.operation == "request":
+                self.stats.timeouts += 1
+                self.trace.record("timeout", op="request")
+            raise
 
     async def rotate(self, key_id: str, *,
                      require_quiescence: bool = True) -> SessionKey:
@@ -622,30 +923,59 @@ class ObfuscatedClient:
         self._request_serializer = endpoint.key_serializer(key.request_graph)
         self._request_fingerprint = key.request_fingerprint
         self._response_fingerprint = key.response_fingerprint
+        self._announced_key = key.key_id
         self.stats.rotations += 1
+        self.trace.record("rotate", key_id=key.key_id)
         return key
 
     # -- teardown --------------------------------------------------------------
 
-    async def close(self, *, wait_server: bool = True) -> None:
-        """Half-close the write side, drain the stream, release the transport."""
+    async def close(self, *, wait_server: bool = True, drain=...) -> None:
+        """Half-close the write side, drain the stream, release the transport.
+
+        The drain is bounded by ``drain`` (default: ``timeouts.drain``, 5 s;
+        ``None`` = unbounded): against a stalled or slow-loris peer the wait
+        is abandoned at the deadline with a ``drain_cancel`` stats/trace
+        entry and the transport is torn down anyway — teardown can no longer
+        hang a test suite.  Closing an already-closed or already-cut client
+        is a no-op; teardown races are expected, not errors.
+        """
+        budget = self.timeouts.drain if drain is ... else drain
+        deadline = Deadline.after(self._clock, budget, operation="drain")
         if self._writer is not None:
             half_close(self._writer)
         if self._pump is not None:
-            while await self._pump.next() is not None:
+            pump = self._pump
+            try:
+
+                async def drain_pump():
+                    while await pump.next() is not None:
+                        pass
+
+                await deadline.wait_for(drain_pump())
+            except DeadlineExceeded:
+                self.stats.drain_cancels += 1
+                self.trace.record("drain_cancel", op="close")
+            except (ConnectionError, StreamError):
+                # A cut or mid-record-dead stream has nothing left to drain.
                 pass
         if self._server_task is not None and wait_server:
             try:
-                await self._server_task
+                await deadline.wait_for(asyncio.shield(self._server_task))
+            except DeadlineExceeded:
+                self.stats.drain_cancels += 1
+                self.trace.record("drain_cancel", op="close_wait_server")
+                self._server_task.cancel()
             except Exception:
                 pass
+            await asyncio.gather(self._server_task, return_exceptions=True)
         if self._writer is not None:
             try:
                 self._writer.close()
-                await self._writer.wait_closed()
+                await deadline.wait_for(self._writer.wait_closed())
             except Exception:  # pragma: no cover
                 pass
-        self._reader = self._writer = self._pump = None
+        self._reader = self._writer = self._pump = self._server_task = None
 
 
 def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer, *,
@@ -661,6 +991,12 @@ def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer, *,
     ``request_faults`` / ``response_faults`` put a seeded hostile link under
     the respective direction of the duplex stream (see
     :mod:`repro.net.faults`).
+
+    A reconnect factory is installed as a side effect: ``client.reconnect()``
+    (or a retrying ``request()``) spawns a fresh server session over a fresh
+    clean pipe — faults are per-connection, so a re-dial models the healed
+    link.  Pass per-attempt fault plans through ``client.set_reconnect()``
+    to keep the hostile path hostile across reconnects.
     """
     (client_reader, client_writer), (server_reader, server_writer) = memory_pipe()
     client.attach(client_reader, client_writer, fault_plan=request_faults)
@@ -669,5 +1005,15 @@ def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer, *,
                              session_id=client.session_id,
                              fault_plan=response_faults)
     )
+
+    async def factory():
+        (reader, writer), (up_reader, up_writer) = memory_pipe()
+        client._server_task = asyncio.ensure_future(
+            server.serve_session(up_reader, up_writer,
+                                 session_id=client.session_id)
+        )
+        return reader, writer
+
+    client._reconnect_factory = factory
     return client
 
