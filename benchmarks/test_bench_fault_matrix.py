@@ -136,7 +136,7 @@ def _classify(run: dict, plan: FaultPlan) -> tuple[str, dict]:
     missing = len(sent) - matched
     verdict = {"matched": matched, "unmatched": unmatched, "missing": missing}
     error = run["error"]
-    if error is not None and not error.startswith("StreamError"):
+    if error is not None and not error.startswith(("StreamError", "BudgetExceeded")):
         return "undiagnosed", verdict  # an untyped failure is never acceptable
     if not plan.lossy:
         # Loss-free schedules must be invisible: complete, identical, clean.

@@ -74,6 +74,32 @@ class StreamError(ParseError):
         self.message_index = message_index
 
 
+class BudgetExceeded(StreamError):
+    """A per-session resource budget was violated while decoding a stream.
+
+    Raised by the incremental decoders and the session pumps when a peer
+    outgrows one of the :class:`~repro.net.governance.ResourceBudget` limits:
+    buffered stream bytes, pending decoded messages, a declared record/field
+    size, or decode work per feed.  Carries the *name* of the violated
+    resource plus the limit and the observed value, so overload diagnoses can
+    be attributed to a specific counter.  Subclasses :class:`StreamError`:
+    a budget violation kills the stream exactly like any other stream-level
+    failure, and every existing handler keeps working.
+    """
+
+    def __init__(self, resource: str, *, limit: int, actual: int,
+                 message: str | None = None, offset: int | None = None,
+                 node: str | None = None, message_index: int | None = None):
+        if message is None:
+            message = (f"resource budget exceeded: {resource} of {actual} "
+                       f"is over the {limit} limit")
+        super().__init__(message, offset=offset, node=node,
+                         message_index=message_index)
+        self.resource = resource
+        self.limit = limit
+        self.actual = actual
+
+
 class TransformError(ReproError):
     """A transformation failed while being applied to a format graph."""
 

@@ -24,6 +24,11 @@ straight into the PRE resilience study.
   :class:`Deadline` / :class:`TimeoutConfig`, seeded-backoff
   :class:`RetryPolicy`, :class:`CircuitBreaker` and the seed-replayable
   :class:`ResilienceTrace` of every recovery decision;
+* :mod:`repro.net.governance` — resource governance:
+  :class:`ResourceBudget` per-session memory/work limits (typed
+  :class:`BudgetExceeded` violations) and the watermark-driven
+  :class:`LoadGovernor` (``healthy → degraded → shedding`` overload states,
+  heaviest-session read pausing, typed :class:`ServerBusy` admission sheds);
 * :mod:`repro.net.capture` — :class:`Capture` records of the wire traffic
   (JSONL-portable, accepted by ``run_resilience`` and ``infer_formats``).
 
@@ -62,17 +67,27 @@ from .resilience import (
     retry_operation,
 )
 from .framing import (
+    BusyEvent,
     CorruptRecord,
     RecordDecoder,
     RotationEvent,
+    encode_busy,
     encode_record,
     encode_rotation,
     resolve_framing,
+)
+from .governance import (
+    BudgetExceeded,
+    GovernanceError,
+    LoadGovernor,
+    ResourceBudget,
+    ServerBusy,
 )
 from .proxy import ObfuscatedProxy, ProxyStats
 from .rotation import PlanBook, SessionKey, derive_session_key
 from .session import (
     MemoryWriter,
+    MeteredReader,
     ObfuscatedClient,
     ObfuscatedServer,
     SessionStats,
@@ -81,6 +96,8 @@ from .session import (
 )
 
 __all__ = [
+    "BudgetExceeded",
+    "BusyEvent",
     "Capture",
     "CaptureError",
     "CaptureRecord",
@@ -96,7 +113,10 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "FaultyWriter",
+    "GovernanceError",
+    "LoadGovernor",
     "MemoryWriter",
+    "MeteredReader",
     "ObfuscatedClient",
     "ObfuscatedProxy",
     "ObfuscatedServer",
@@ -106,9 +126,11 @@ __all__ = [
     "RecordDecoder",
     "ResilienceError",
     "ResilienceTrace",
+    "ResourceBudget",
     "RetriesExhausted",
     "RetryPolicy",
     "RotationEvent",
+    "ServerBusy",
     "SessionKey",
     "SessionStats",
     "StreamingDecoder",
@@ -117,6 +139,7 @@ __all__ = [
     "connect_memory",
     "decode_stream",
     "derive_session_key",
+    "encode_busy",
     "encode_record",
     "encode_rotation",
     "faulty_memory_pipe",

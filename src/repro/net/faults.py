@@ -50,7 +50,7 @@ from ..core.errors import ReproError
 #: Fault models composable in one plan (documentation / introspection aid).
 FAULT_MODELS = (
     "loss", "reorder", "duplicate", "corrupt", "truncate", "slowloris",
-    "cut", "stall",
+    "cut", "stall", "flood", "drip",
 )
 
 #: Connection-level chaos scenarios a :class:`ChaosSchedule` can compose.
@@ -99,6 +99,13 @@ class FaultPlan:
     #: is withheld and no EOF is ever signalled — the peer sees silence
     #: forever, the failure mode only an idle-read deadline can diagnose.
     stall_at: int | None = None
+    #: absolute stream offset where a forged oversized length declaration is
+    #: injected into the delivered stream — the memory-bomb peer: the
+    #: receiver is promised ``flood_declared`` bytes and everything after
+    #: drips toward a record that never completes (``None`` = never).
+    flood_at: int | None = None
+    #: the payload size the forged declaration promises.
+    flood_declared: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.segment_size < 1:
@@ -111,10 +118,17 @@ class FaultPlan:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise FaultPlanError(f"{name} must be within [0, 1] ({rate})")
-        for name in ("truncate_at", "cut_at", "stall_at"):
+        for name in ("truncate_at", "cut_at", "stall_at", "flood_at"):
             offset = getattr(self, name)
             if offset is not None and offset < 0:
                 raise FaultPlanError(f"{name} cannot be negative ({offset})")
+        # The forged declaration must read as a payload length, not as one
+        # of the control-record sentinels (0xFFFFFFFE / 0xFFFFFFFF).
+        if not 1 <= self.flood_declared < (1 << 32) - 2:
+            raise FaultPlanError(
+                f"flood_declared must be in 1..{(1 << 32) - 3} "
+                f"({self.flood_declared})"
+            )
 
     # -- canned single-model plans ---------------------------------------------
 
@@ -166,6 +180,30 @@ class FaultPlan:
         """Indefinite stall at a stream offset: silence, never an EOF."""
         return cls(seed=seed, segment_size=segment_size, stall_at=at)
 
+    @classmethod
+    def flood(cls, at: int = 0, *, declared: int = 1 << 20, seed: int = 0,
+              segment_size: int = 64) -> "FaultPlan":
+        """Memory-bomb peer: a forged ``declared``-byte length lands at ``at``.
+
+        With the default ``at=0`` the forged declaration opens the stream at
+        a record boundary, so a record-framed receiver reads it as a header
+        and every byte written afterwards drips as filler toward a payload
+        that never completes — the attack a ``max_declared_bytes`` budget
+        must refuse at the declaration itself.
+        """
+        return cls(seed=seed, segment_size=segment_size, flood_at=at,
+                   flood_declared=declared)
+
+    @classmethod
+    def drip(cls, *, seed: int = 0) -> "FaultPlan":
+        """Byte-drip schedule: every write dribbles in fixed 1-byte feeds.
+
+        The deterministic slow-loris — no jitter, so the receiver does one
+        decode step per delivered byte; the workload a ``max_steps_per_feed``
+        / idle-read budget pair keeps bounded.
+        """
+        return cls(seed=seed, segment_size=1, jitter=False)
+
     # -- properties ------------------------------------------------------------
 
     @property
@@ -178,7 +216,7 @@ class FaultPlan:
         """
         return (self.loss_rate > 0.0 or self.corrupt_rate > 0.0
                 or self.truncate_at is not None or self.cut_at is not None
-                or self.stall_at is not None)
+                or self.stall_at is not None or self.flood_at is not None)
 
     def reseed(self, seed: int) -> "FaultPlan":
         """The same fault mix under a different seed."""
@@ -201,6 +239,8 @@ class FaultPlan:
             active.append(f"cut@{self.cut_at}")
         if self.stall_at is not None:
             active.append(f"stall@{self.stall_at}")
+        if self.flood_at is not None:
+            active.append(f"flood@{self.flood_at}->{self.flood_declared}")
         active.append(f"seg<={self.segment_size}{'~' if self.jitter else ''}")
         return " ".join(active)
 
@@ -267,6 +307,10 @@ class FaultCounters:
     reset: bool = False
     #: True once the stall fault silenced the stream without an EOF.
     stalled: bool = False
+    #: forged bytes injected into the delivered stream by the flood model.
+    injected_bytes: int = 0
+    #: True once the flood model injected its forged declaration.
+    flooded: bool = False
 
     def summary(self) -> dict:
         """JSON-friendly snapshot (used by the benchmark report)."""
@@ -297,6 +341,7 @@ class FaultInjector:
         self._lost: set[int] = set()
         self._cut = False
         self._flushed = False
+        self._flood_pending = plan.flood_at is not None
         #: how the stream died: "truncate" / "cut" / "stall" / "loss" / None.
         self._severed: str | None = None
         limits = [(offset, kind)
@@ -398,6 +443,19 @@ class FaultInjector:
     def _transmit(self, segment: bytes) -> list[bytes]:
         plan = self.plan
         counters = self.counters
+        # The flood model injects its forged oversized declaration into the
+        # *delivered* stream once the written stream reaches flood_at.  The
+        # forged bytes take their own sequence slot but do not advance the
+        # written-stream offset — they never existed on the sending side.
+        prelude: list[bytes] = []
+        if self._flood_pending and self._offset >= plan.flood_at:
+            self._flood_pending = False
+            forged = plan.flood_declared.to_bytes(4, "big")
+            seq = self._seq
+            self._seq += 1
+            counters.injected_bytes += len(forged)
+            counters.flooded = True
+            prelude = self._arrive(seq, forged)
         # Stream death at an absolute offset of the written stream: clean
         # truncation (EOF), connection cut (reset) or indefinite stall
         # (silence) — same delivery limit, different teardown semantics.
@@ -407,7 +465,7 @@ class FaultInjector:
                 counters.undelivered_bytes += len(segment)
                 self._sever(limit_kind)
                 self._cut = True
-                return []
+                return prelude
             if self._offset + len(segment) > limit_at:
                 kept = limit_at - self._offset
                 counters.undelivered_bytes += len(segment) - kept
@@ -471,7 +529,7 @@ class FaultInjector:
         if self._limit is not None and self._offset >= self._limit[0]:
             self._sever(self._limit[1])
             self._cut = True
-        return delivered
+        return prelude + delivered if prelude else delivered
 
     # -- the receiving stack ---------------------------------------------------
 

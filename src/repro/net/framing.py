@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..core.errors import ParseError, StreamError
+from ..core.errors import BudgetExceeded, ParseError, StreamError
 from ..core.graph import FormatGraph
 from ..wire.plan import CodecPlan, plan_for
 from ..wire.streaming import DecodedMessage, StreamingDecoder, is_self_framing
@@ -50,6 +50,15 @@ ROTATION_SENTINEL = (1 << (8 * RECORD_HEADER)) - 1
 #: Width of the key-identifier length field of a rotation control record.
 ROTATION_KEY_HEADER = 2
 
+#: Length-prefix value marking a busy/retry-after control record — the typed
+#: refusal an overloaded server sheds new admissions with.  Also far above
+#: any legal payload length (record-size limits must stay below it).
+BUSY_SENTINEL = ROTATION_SENTINEL - 1
+
+#: Width of the retry-after field of a busy control record (milliseconds,
+#: big-endian, saturating).
+BUSY_RETRY_HEADER = 2
+
 FRAMINGS = ("auto", "native", "record")
 
 
@@ -67,12 +76,12 @@ def resolve_framing(graph: FormatGraph, mode: str = "auto") -> str:
     return mode
 
 
-def encode_record(payload: bytes) -> bytes:
+def encode_record(payload: bytes, *, max_size: int = MAX_RECORD_SIZE) -> bytes:
     """Wrap ``payload`` in a length-prefixed record."""
-    if len(payload) >= MAX_RECORD_SIZE:
+    if len(payload) >= max_size:
         raise StreamError(
             f"record payload of {len(payload)} bytes exceeds the "
-            f"{MAX_RECORD_SIZE}-byte limit"
+            f"{max_size}-byte limit"
         )
     return len(payload).to_bytes(RECORD_HEADER, "big") + payload
 
@@ -127,6 +136,31 @@ def encode_rotation(key_id: str) -> bytes:
     )
 
 
+@dataclass(frozen=True)
+class BusyEvent:
+    """An overloaded peer shed this admission, advising when to retry.
+
+    Emitted by :class:`RecordDecoder` when a busy control record
+    (:func:`encode_busy`) arrives.  The session layer converts it into a
+    retryable :class:`~repro.net.governance.ServerBusy`, which a client's
+    :class:`~repro.net.resilience.RetryPolicy` backs off on.
+    """
+
+    #: server's advisory backoff hint, in seconds.
+    retry_after: float
+
+
+def encode_busy(retry_after: float = 0.0) -> bytes:
+    """Wire bytes of a busy control record advising ``retry_after`` seconds."""
+    if retry_after < 0:
+        raise StreamError(f"retry_after cannot be negative ({retry_after})")
+    millis = min(round(retry_after * 1000), (1 << (8 * BUSY_RETRY_HEADER)) - 1)
+    return (
+        BUSY_SENTINEL.to_bytes(RECORD_HEADER, "big")
+        + millis.to_bytes(BUSY_RETRY_HEADER, "big")
+    )
+
+
 class RecordDecoder:
     """Incremental decoder of length-prefixed records carrying wire messages.
 
@@ -149,17 +183,40 @@ class RecordDecoder:
     resumes at the next record boundary — the recovery the length-prefixed
     envelope makes possible.  Header-level damage (an implausible length
     prefix) remains terminal either way.
+
+    ``max_record_size`` bounds one record's *declared* payload size,
+    per-instance (default :data:`MAX_RECORD_SIZE`); the declaration is
+    validated the moment the 4 header bytes arrive — before a single payload
+    byte is buffered toward it — and a violation raises a typed
+    :class:`~repro.core.errors.BudgetExceeded`.  ``budget`` (duck-typed,
+    usually a :class:`~repro.net.governance.ResourceBudget`) supplies that
+    limit via ``max_declared_bytes`` plus ``max_stream_bytes`` (cap on the
+    decoder's buffered backlog) and ``max_steps_per_feed`` (cap on records
+    decoded from one fed chunk).
     """
 
     def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None,
                  key_resolver: "Callable[[str], FormatGraph] | None" = None,
-                 resync: bool = False):
+                 resync: bool = False, max_record_size: int | None = None,
+                 budget=None):
         from ..wire.parser import Parser  # local: keeps module import light
 
+        if max_record_size is None:
+            max_record_size = getattr(budget, "max_declared_bytes", None)
+        if max_record_size is None:
+            max_record_size = MAX_RECORD_SIZE
+        if not 0 < max_record_size < BUSY_SENTINEL:
+            raise StreamError(
+                f"max_record_size must be in 1..{BUSY_SENTINEL - 1} "
+                f"({max_record_size}): the control-record sentinels live above"
+            )
         self.graph = graph
         self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
         self._key_resolver = key_resolver
         self.resync = resync
+        self.max_record_size = max_record_size
+        self._max_stream = getattr(budget, "max_stream_bytes", None)
+        self._max_steps = getattr(budget, "max_steps_per_feed", None)
         #: records skipped under resync (mirrors the CorruptRecord events).
         self.corrupt_count = 0
         #: payload bytes discarded by resync skips.
@@ -171,12 +228,18 @@ class RecordDecoder:
         self._buffer = bytearray()
         self._eof = False
         self._decoded = 0
+        self._steps = 0
         self._payload_offset = 0
         self._failed: StreamError | None = None
 
     @property
     def needs_more(self) -> bool:
         return len(self._buffer) > 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently buffered toward the next record."""
+        return len(self._buffer)
 
     @property
     def decoded_count(self) -> int:
@@ -192,16 +255,25 @@ class RecordDecoder:
             "buffered": len(self._buffer),
         }
 
-    def feed(self, data: bytes) -> "list[DecodedMessage | RotationEvent | CorruptRecord]":
+    def feed(self, data: bytes) -> "list[DecodedMessage | RotationEvent | CorruptRecord | BusyEvent]":
         self._check_failed()
         if self._eof:
             raise StreamError("cannot feed bytes after end-of-stream")
+        if (self._max_stream is not None
+                and len(self._buffer) + len(data) > self._max_stream):
+            raise self._fail(BudgetExceeded(
+                "stream_bytes", limit=self._max_stream,
+                actual=len(self._buffer) + len(data),
+                message_index=self._decoded,
+            ))
+        self._steps = 0
         self._buffer += data
         return self._drain()
 
-    def feed_eof(self) -> "list[DecodedMessage | RotationEvent | CorruptRecord]":
+    def feed_eof(self) -> "list[DecodedMessage | RotationEvent | CorruptRecord | BusyEvent]":
         self._check_failed()
         self._eof = True
+        self._steps = 0
         completed = self._drain()
         if self._buffer:
             raise self._fail(StreamError(
@@ -233,10 +305,10 @@ class RecordDecoder:
         self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
         self.current_key = key_id
 
-    def _drain(self) -> "list[DecodedMessage | RotationEvent | CorruptRecord]":
+    def _drain(self) -> "list[DecodedMessage | RotationEvent | CorruptRecord | BusyEvent]":
         from ..wire.parser import Parser  # local: keeps module import light
 
-        completed: "list[DecodedMessage | RotationEvent | CorruptRecord]" = []
+        completed: "list[DecodedMessage | RotationEvent | CorruptRecord | BusyEvent]" = []
         while True:
             if len(self._buffer) < RECORD_HEADER:
                 break
@@ -275,13 +347,34 @@ class RecordDecoder:
                 self.rotations += 1
                 completed.append(RotationEvent(key_id))
                 continue
-            if size >= MAX_RECORD_SIZE:
-                raise self._fail(StreamError(
-                    f"record of {size} bytes exceeds the {MAX_RECORD_SIZE}-byte "
-                    f"limit (stream desynchronized?)", message_index=self._decoded,
+            if size == BUSY_SENTINEL:
+                header = RECORD_HEADER + BUSY_RETRY_HEADER
+                if len(self._buffer) < header:
+                    break
+                millis = int.from_bytes(self._buffer[RECORD_HEADER:header], "big")
+                del self._buffer[:header]
+                completed.append(BusyEvent(retry_after=millis / 1000.0))
+                continue
+            if size >= self.max_record_size:
+                # The declaration alone condemns the record: fail before a
+                # single payload byte is buffered toward it.
+                raise self._fail(BudgetExceeded(
+                    "record_bytes", limit=self.max_record_size, actual=size,
+                    message=(
+                        f"record of {size} bytes exceeds the "
+                        f"{self.max_record_size}-byte limit "
+                        f"(stream desynchronized?)"
+                    ),
+                    message_index=self._decoded,
                 ))
             if len(self._buffer) < RECORD_HEADER + size:
                 break
+            self._steps += 1
+            if self._max_steps is not None and self._steps > self._max_steps:
+                raise self._fail(BudgetExceeded(
+                    "decode_steps", limit=self._max_steps, actual=self._steps,
+                    message_index=self._decoded,
+                ))
             payload = bytes(self._buffer[RECORD_HEADER : RECORD_HEADER + size])
             del self._buffer[: RECORD_HEADER + size]
             try:
@@ -327,7 +420,8 @@ class RecordDecoder:
 def make_decoder(graph: FormatGraph, framing: str, *,
                  plan: CodecPlan | None = None,
                  key_resolver: "Callable[[str], FormatGraph] | None" = None,
-                 resync: bool = False):
+                 resync: bool = False, budget=None,
+                 max_record_size: int | None = None):
     """Instantiate the incremental decoder matching a resolved framing.
 
     ``key_resolver`` enables rotation control records; only record framing
@@ -335,6 +429,9 @@ def make_decoder(graph: FormatGraph, framing: str, *,
     ``resync`` asks for corrupt-payload recovery at record boundaries — a
     record-framing capability; a native stream has no boundary to resume at,
     so requesting resync there is an error rather than a silent downgrade.
+    ``budget`` (a :class:`~repro.net.governance.ResourceBudget` or any
+    duck-typed equivalent) threads per-session limits into either decoder;
+    ``max_record_size`` additionally overrides the record-size ceiling.
     """
     if framing == "native":
         if key_resolver is not None:
@@ -347,10 +444,11 @@ def make_decoder(graph: FormatGraph, framing: str, *,
                 "native framing cannot resynchronize after corruption "
                 "(no record boundary to resume at); use record framing"
             )
-        return StreamingDecoder(graph, plan=plan)
+        return StreamingDecoder(graph, plan=plan, budget=budget)
     if framing == "record":
         return RecordDecoder(graph, plan=plan, key_resolver=key_resolver,
-                             resync=resync)
+                             resync=resync, budget=budget,
+                             max_record_size=max_record_size)
     raise ValueError(f"unresolved framing {framing!r}")
 
 
@@ -364,14 +462,18 @@ def frame_payload(payload: bytes, framing: str) -> bytes:
 
 
 __all__ = [
+    "BUSY_RETRY_HEADER",
+    "BUSY_SENTINEL",
     "FRAMINGS",
     "MAX_RECORD_SIZE",
     "RECORD_HEADER",
     "ROTATION_KEY_HEADER",
     "ROTATION_SENTINEL",
+    "BusyEvent",
     "CorruptRecord",
     "RecordDecoder",
     "RotationEvent",
+    "encode_busy",
     "encode_record",
     "encode_rotation",
     "frame_payload",

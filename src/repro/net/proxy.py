@@ -20,6 +20,7 @@ import itertools
 from dataclasses import dataclass
 from random import Random
 
+from ..core.errors import BudgetExceeded
 from ..core.graph import FormatGraph
 from ..protocols import registry
 from ..wire.plan import plan_for
@@ -37,6 +38,7 @@ from .resilience import (
     TimeoutConfig,
     retry_operation,
 )
+from .governance import ResourceBudget
 from .session import _MessagePump, half_close
 
 
@@ -53,6 +55,10 @@ class ProxyStats:
     dial_failures: int = 0
     #: upstream dials re-driven by the retry policy.
     retries: int = 0
+    #: high-water mark of bytes buffered by the heaviest bridge pump.
+    peak_buffered: int = 0
+    #: typed resource-budget violations that killed this bridge.
+    budget_violations: int = 0
     error: str | None = None
 
 
@@ -96,9 +102,12 @@ class ObfuscatedProxy:
                  timeouts: TimeoutConfig | None = None,
                  retry: RetryPolicy | None = None,
                  breaker: CircuitBreaker | None = None,
+                 budget: ResourceBudget | None = None,
                  clock=None):
         self.setup = (registry.get(protocol) if isinstance(protocol, str)
                       else protocol)
+        #: per-session resource limits threaded into both bridge pumps.
+        self.budget = budget
         #: skip corrupt records at record boundaries instead of failing the
         #: bridge; applies to record-framed legs (native streams have no
         #: boundary to resume at).
@@ -169,7 +178,9 @@ class ObfuscatedProxy:
                              self.listen.request_framing,
                              plan=self.listen.request_plan,
                              resync=(self.resync
-                                     and self.listen.request_framing == "record")),
+                                     and self.listen.request_framing == "record"),
+                             budget=self.budget),
+                budget=self.budget, stats=stats,
             )
             try:
                 while True:
@@ -196,7 +207,9 @@ class ObfuscatedProxy:
                              self.upstream.response_framing,
                              plan=self.upstream.response_plan,
                              resync=(self.resync
-                                     and self.upstream.response_framing == "record")),
+                                     and self.upstream.response_framing == "record"),
+                             budget=self.budget),
+                budget=self.budget, stats=stats,
             )
             try:
                 while True:
@@ -225,6 +238,10 @@ class ObfuscatedProxy:
             for pump in pumps:
                 pump.cancel()
             await asyncio.gather(*pumps, return_exceptions=True)
+            if isinstance(exc, BudgetExceeded):
+                stats.budget_violations += 1
+                self.trace.record("budget", resource=exc.resource,
+                                  session=session)
             if isinstance(exc, Exception):
                 stats.error = f"{type(exc).__name__}: {exc}"
             raise

@@ -39,7 +39,7 @@ from collections import deque
 from dataclasses import dataclass
 from random import Random
 
-from ..core.errors import StreamError
+from ..core.errors import BudgetExceeded, StreamError
 from ..core.graph import FormatGraph
 from ..core.message import Message
 from ..protocols import registry
@@ -49,13 +49,16 @@ from ..wire.streaming import DecodedMessage
 from .capture import Capture
 from .faults import FaultPlan, FaultyWriter
 from .framing import (
+    BusyEvent,
     CorruptRecord,
     RotationEvent,
+    encode_busy,
     encode_rotation,
     frame_payload,
     make_decoder,
     resolve_framing,
 )
+from .governance import LoadGovernor, ResourceBudget, ServerBusy, SessionLoad
 from .resilience import (
     Deadline,
     DeadlineExceeded,
@@ -86,6 +89,57 @@ Responder = registry.Responder
 # ---------------------------------------------------------------------------
 
 
+class MeteredReader(asyncio.StreamReader):
+    """A stream reader that meters what its consumer has actually read.
+
+    ``consumed`` counts the bytes delivered to the reading side; a
+    flow-limited :class:`MemoryWriter` blocks in ``drain()`` until the peer
+    catches up, which is how the memory transport gets real end-to-end
+    backpressure.  EOF and exceptions wake every waiter, so a dying reader
+    can never deadlock a draining writer.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.consumed = 0
+        self._consumption_waiters: list[asyncio.Future] = []
+
+    def _note_consumed(self, data) -> None:
+        if data:
+            self.consumed += len(data)
+        self._wake()
+
+    def _wake(self) -> None:
+        waiters, self._consumption_waiters = self._consumption_waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def wait_consumption(self) -> None:
+        """Resolve at the next consumption step (or EOF / stream death)."""
+        waiter = asyncio.get_running_loop().create_future()
+        self._consumption_waiters.append(waiter)
+        await waiter
+
+    async def read(self, n: int = -1) -> bytes:
+        data = await super().read(n)
+        self._note_consumed(data)
+        return data
+
+    async def readexactly(self, n: int) -> bytes:
+        data = await super().readexactly(n)
+        self._note_consumed(data)
+        return data
+
+    def feed_eof(self) -> None:
+        super().feed_eof()
+        self._wake()
+
+    def set_exception(self, exc) -> None:
+        super().set_exception(exc)
+        self._wake()
+
+
 class MemoryWriter:
     """Write end of an in-process duplex stream (asyncio-writer shaped).
 
@@ -93,12 +147,25 @@ class MemoryWriter:
     it exactly as over a socket — same ``write``/``drain``/``close`` surface —
     without file descriptors.  This is what lets the benchmark drive hundreds
     of concurrent sessions without touching ulimits.
+
+    With a ``limit`` (and a :class:`MeteredReader` peer), ``drain()`` blocks
+    while more than ``limit`` written-but-unconsumed bytes are in flight —
+    the transport-level flow control a slow consumer uses to throttle a fast
+    producer.  ``peak_in_flight`` records the high-water mark as evidence
+    that the bound held.
     """
 
-    def __init__(self, peer: asyncio.StreamReader):
+    def __init__(self, peer: asyncio.StreamReader, *, limit: int | None = None):
         self._peer = peer
         self._closed = False
         self._eof_sent = False
+        #: flow-control window: max written-but-unconsumed bytes (None = off).
+        self.limit = limit
+        self._sent = 0
+        #: drain() waits taken because the window was full.
+        self.drain_waits = 0
+        #: high-water mark of written-but-unconsumed bytes.
+        self.peak_in_flight = 0
 
     def write(self, data: bytes) -> None:
         if self._closed or self._eof_sent:
@@ -107,6 +174,10 @@ class MemoryWriter:
             raise ConnectionResetError("memory stream is closed")
         if data:
             self._peer.feed_data(data)
+            self._sent += len(data)
+            in_flight = self._sent - getattr(self._peer, "consumed", 0)
+            if in_flight > self.peak_in_flight:
+                self.peak_in_flight = in_flight
 
     def write_eof(self) -> None:
         if not self._eof_sent:
@@ -116,6 +187,14 @@ class MemoryWriter:
     async def drain(self) -> None:
         # Yield to the event loop so readers scheduled by feed_data run.
         await asyncio.sleep(0)
+        if self.limit is None or not hasattr(self._peer, "wait_consumption"):
+            return
+        peer = self._peer
+        while (not self._closed and not self._eof_sent
+               and peer.exception() is None
+               and self._sent - peer.consumed > self.limit):
+            self.drain_waits += 1
+            await peer.wait_consumption()
 
     def close(self) -> None:
         if not self._closed:
@@ -148,14 +227,19 @@ class MemoryWriter:
         return default
 
 
-def memory_pipe() -> tuple[
+def memory_pipe(limit: int | None = None) -> tuple[
     tuple[asyncio.StreamReader, MemoryWriter],
     tuple[asyncio.StreamReader, MemoryWriter],
 ]:
-    """Two connected ``(reader, writer)`` endpoints over in-process buffers."""
-    side_a = asyncio.StreamReader()
-    side_b = asyncio.StreamReader()
-    return (side_a, MemoryWriter(side_b)), (side_b, MemoryWriter(side_a))
+    """Two connected ``(reader, writer)`` endpoints over in-process buffers.
+
+    ``limit`` bounds each direction's written-but-unconsumed bytes: writers
+    block in ``drain()`` until the peer reads, modelling a TCP window.
+    """
+    side_a = MeteredReader()
+    side_b = MeteredReader()
+    return ((side_a, MemoryWriter(side_b, limit=limit)),
+            (side_b, MemoryWriter(side_a, limit=limit)))
 
 
 def half_close(writer) -> None:
@@ -183,29 +267,73 @@ def half_close(writer) -> None:
 
 
 class _MessagePump:
-    """Pulls chunks off a stream reader through an incremental decoder."""
+    """Pulls chunks off a stream reader through an incremental decoder.
 
-    def __init__(self, reader: asyncio.StreamReader, decoder):
+    The governance hooks all live here, at the single point where bytes
+    become buffered state: a ``budget`` bounds the decoded-but-undelivered
+    queue (``pending_messages``), ``stats`` tracks the session's
+    ``peak_buffered`` high-water mark, and a ``load`` handle reports the
+    buffered bytes to the server's :class:`~repro.net.governance.LoadGovernor`
+    and *stops reading* while the governor pauses this session — backpressure
+    by not pulling, which the transport's flow control propagates upstream.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, decoder, *,
+                 budget: ResourceBudget | None = None,
+                 stats: "SessionStats | None" = None,
+                 load: SessionLoad | None = None):
         self._reader = reader
         self._decoder = decoder
         # A deque: bursty feeds can park hundreds of decoded messages here,
         # and a list's pop(0) would shift them all on every delivery.
         self._pending: deque[DecodedMessage] = deque()
         self._eof = False
+        self._max_pending = getattr(budget, "max_pending_messages", None)
+        self._stats = stats
+        self._load = load
+        self._pending_bytes = 0
+
+    def buffered_bytes(self) -> int:
+        """Bytes this session holds: decoder backlog + undelivered queue."""
+        return getattr(self._decoder, "buffered", 0) + self._pending_bytes
+
+    def _account(self) -> None:
+        buffered = self.buffered_bytes()
+        if self._stats is not None and buffered > self._stats.peak_buffered:
+            self._stats.peak_buffered = buffered
+        if self._load is not None:
+            self._load.update(buffered)
+
+    def _ingest(self, produced) -> None:
+        for item in produced:
+            self._pending.append(item)
+            self._pending_bytes += len(getattr(item, "raw", b""))
+        self._account()
+        if (self._max_pending is not None
+                and len(self._pending) > self._max_pending):
+            raise BudgetExceeded(
+                "pending_messages", limit=self._max_pending,
+                actual=len(self._pending),
+            )
 
     async def next(self) -> DecodedMessage | None:
         """The next framed message, or ``None`` at a clean end of stream."""
         while True:
             if self._pending:
-                return self._pending.popleft()
+                item = self._pending.popleft()
+                self._pending_bytes -= len(getattr(item, "raw", b""))
+                self._account()
+                return item
             if self._eof:
                 return None
+            if self._load is not None:
+                await self._load.readable()
             chunk = await self._reader.read(CHUNK_SIZE)
             if not chunk:
-                self._pending.extend(self._decoder.feed_eof())
+                self._ingest(self._decoder.feed_eof())
                 self._eof = True
                 continue
-            self._pending.extend(self._decoder.feed(chunk))
+            self._ingest(self._decoder.feed(chunk))
 
 
 class _Endpoint:
@@ -331,6 +459,14 @@ class SessionStats:
     timeouts: int = 0
     #: teardown waits abandoned at the drain deadline (close / server stop).
     drain_cancels: int = 0
+    #: high-water mark of bytes buffered by this session's pump (decoder
+    #: backlog plus decoded-but-undelivered messages).
+    peak_buffered: int = 0
+    #: typed resource-budget violations that killed this session's stream.
+    budget_violations: int = 0
+    #: admissions shed by an overloaded server (server side) / busy refusals
+    #: received from one (client side).
+    sheds: int = 0
     error: str | None = None
 
 
@@ -367,6 +503,8 @@ class ObfuscatedServer:
                  resync: bool = False,
                  timeouts: TimeoutConfig | None = None,
                  max_sessions: int | None = None,
+                 budget: ResourceBudget | None = None,
+                 governor: LoadGovernor | None = None,
                  clock=None):
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
@@ -386,9 +524,15 @@ class ObfuscatedServer:
             raise ValueError(f"max_sessions must be >= 1 ({max_sessions})")
         #: concurrent-session admission bound (None = unbounded).
         self.max_sessions = max_sessions
+        #: per-session resource limits threaded into decoders and pumps.
+        self.budget = budget
+        #: server-level overload state machine (None = no admission control).
+        self.governor = governor
         self._clock = clock if clock is not None else RealClock()
         #: typed recovery decisions (reaps, drain cancels) of this server.
         self.trace = ResilienceTrace()
+        if governor is not None and governor.trace is None:
+            governor.trace = self.trace
         self._responder_rng = Random(seed + 0x5EED)
         self._response_serializer = self._endpoint.serializer("response")
         self._session_ids = itertools.count(1)
@@ -434,6 +578,8 @@ class ObfuscatedServer:
         book = endpoint.plan_book
         session = (session_id if session_id is not None
                    else f"session-{next(self._session_ids)}")
+        if self.governor is not None and self.governor.should_shed():
+            return await self._shed_session(session, writer)
         if fault_plan is not None:
             writer = FaultyWriter(writer, fault_plan)
         if self.max_sessions is not None:
@@ -449,9 +595,13 @@ class ObfuscatedServer:
         decoder = make_decoder(endpoint.request_graph, endpoint.request_framing,
                                plan=endpoint.request_plan,
                                key_resolver=key_resolver,
-                               resync=self.resync)
-        pump = _MessagePump(reader, decoder)
+                               resync=self.resync,
+                               budget=self.budget)
         stats = SessionStats(session)
+        load = (self.governor.register(session)
+                if self.governor is not None else None)
+        pump = _MessagePump(reader, decoder, budget=self.budget,
+                            stats=stats, load=load)
         response_serializer = (self._response_serializer if book is None
                                else endpoint.serializer("response"))
         request_fingerprint = endpoint.request_fingerprint
@@ -510,10 +660,19 @@ class ObfuscatedServer:
             stats.drain_cancels += 1
             stats.error = "DrainCancelled: session cancelled at stop/teardown"
             raise
+        except BudgetExceeded as exc:
+            # A peer outgrew its budget: typed, attributed, terminal for
+            # this session only — the server stays up.
+            stats.budget_violations += 1
+            stats.error = f"BudgetExceeded: {exc}"
+            self.trace.record("budget", resource=exc.resource, session=session)
+            raise
         except Exception as exc:
             stats.error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
+            if load is not None:
+                self.governor.unregister(load)
             self.completed.append(stats)
             if task is not None:
                 self._active.discard(task)
@@ -523,6 +682,36 @@ class ObfuscatedServer:
                 writer.close()
             except Exception:  # pragma: no cover - transport already gone
                 pass
+        return stats
+
+    async def _shed_session(self, session: str, writer) -> SessionStats:
+        """Refuse one admission while shedding: typed busy reply, clean close.
+
+        Record-framed sessions get a busy/retry-after control record before
+        the close, which a resilient client converts into a retryable
+        :class:`~repro.net.governance.ServerBusy`; native-framed sessions
+        have no envelope for control traffic, so the refusal is just the
+        close (still a retryable transport death on the client).
+        """
+        governor = self.governor
+        stats = SessionStats(session, sheds=1)
+        stats.error = (
+            f"ServerBusy: admission shed in {governor.state} state "
+            f"(aggregate={governor.aggregate}, "
+            f"sessions={governor.session_count})"
+        )
+        governor.note_shed(session)
+        if self._endpoint.response_framing == "record":
+            try:
+                writer.write(encode_busy(governor.retry_after))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - transport already gone
+            pass
+        self.completed.append(stats)
         return stats
 
     # -- TCP front-end ---------------------------------------------------------
@@ -613,8 +802,11 @@ class ObfuscatedClient:
                  resync: bool = False,
                  timeouts: TimeoutConfig | None = None,
                  retry: RetryPolicy | None = None,
+                 budget: ResourceBudget | None = None,
                  clock=None):
         self.resync = resync
+        #: per-session resource limits on the response stream (None = off).
+        self.budget = budget
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
             framing=framing, seed=seed, capture=capture,
@@ -660,12 +852,13 @@ class ObfuscatedClient:
         if fault_plan is not None:
             writer = FaultyWriter(writer, fault_plan)
         self._reader, self._writer = reader, writer
-        self._pump = _MessagePump(
-            reader,
-            make_decoder(endpoint.response_graph, endpoint.response_framing,
-                         plan=endpoint.response_plan,
-                         resync=self.resync),
-        )
+        decoder = make_decoder(endpoint.response_graph,
+                               endpoint.response_framing,
+                               plan=endpoint.response_plan,
+                               resync=self.resync,
+                               budget=self.budget)
+        self._pump = _MessagePump(reader, decoder, budget=self.budget,
+                                  stats=self.stats)
         return self
 
     async def connect_tcp(self, host: str, port: int) -> "ObfuscatedClient":
@@ -678,9 +871,10 @@ class ObfuscatedClient:
         reader, writer = await self._dial()
         return self.attach(reader, writer)
 
-    def connect_memory(self, server: ObfuscatedServer) -> "ObfuscatedClient":
+    def connect_memory(self, server: ObfuscatedServer, *,
+                       pipe_limit: int | None = None) -> "ObfuscatedClient":
         """Open an in-process session; the server side runs as a task."""
-        return connect_memory(self, server)
+        return connect_memory(self, server, pipe_limit=pipe_limit)
 
     def set_reconnect(self, factory) -> "ObfuscatedClient":
         """Install how this session re-dials its peer.
@@ -804,20 +998,32 @@ class ObfuscatedClient:
             raise ConnectionError("client is not connected")
         idle = self.timeouts.idle_read if timeout is ... else timeout
         while True:
-            if idle is None:
-                decoded = await self._pump.next()
-            else:
-                try:
-                    decoded = await self._clock.wait_for(self._pump.next(), idle)
-                except (asyncio.TimeoutError, TimeoutError) as exc:
-                    self.stats.timeouts += 1
-                    self.trace.record("timeout", op="idle_read")
-                    raise DeadlineExceeded("idle_read", idle) from exc
+            try:
+                if idle is None:
+                    decoded = await self._pump.next()
+                else:
+                    try:
+                        decoded = await self._clock.wait_for(self._pump.next(),
+                                                             idle)
+                    except (asyncio.TimeoutError, TimeoutError) as exc:
+                        self.stats.timeouts += 1
+                        self.trace.record("timeout", op="idle_read")
+                        raise DeadlineExceeded("idle_read", idle) from exc
+            except BudgetExceeded as exc:
+                self.stats.budget_violations += 1
+                self.trace.record("budget", resource=exc.resource)
+                raise
             if isinstance(decoded, CorruptRecord):
                 self.stats.resyncs += 1
                 self.trace.record("resync", start=decoded.start,
                                   end=decoded.end)
                 continue
+            if isinstance(decoded, BusyEvent):
+                # The server shed this admission: convert the typed refusal
+                # into a retryable failure the retry policy backs off on.
+                self.stats.sheds += 1
+                self.trace.record("busy", retry_after=decoded.retry_after)
+                raise ServerBusy(decoded.retry_after)
             break
         if decoded is not None:
             self.stats.received += 1
@@ -980,7 +1186,8 @@ class ObfuscatedClient:
 
 def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer, *,
                    request_faults: FaultPlan | None = None,
-                   response_faults: FaultPlan | None = None
+                   response_faults: FaultPlan | None = None,
+                   pipe_limit: int | None = None
                    ) -> ObfuscatedClient:
     """Wire ``client`` to ``server`` over the in-process duplex transport.
 
@@ -997,8 +1204,13 @@ def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer, *,
     clean pipe — faults are per-connection, so a re-dial models the healed
     link.  Pass per-attempt fault plans through ``client.set_reconnect()``
     to keep the hostile path hostile across reconnects.
+
+    ``pipe_limit`` flow-controls both directions of the duplex pipe (and of
+    every reconnect pipe): writers block in ``drain()`` while more than that
+    many unconsumed bytes are in flight, like a TCP window.
     """
-    (client_reader, client_writer), (server_reader, server_writer) = memory_pipe()
+    (client_reader, client_writer), (server_reader, server_writer) = \
+        memory_pipe(pipe_limit)
     client.attach(client_reader, client_writer, fault_plan=request_faults)
     client._server_task = asyncio.ensure_future(
         server.serve_session(server_reader, server_writer,
@@ -1007,7 +1219,7 @@ def connect_memory(client: ObfuscatedClient, server: ObfuscatedServer, *,
     )
 
     async def factory():
-        (reader, writer), (up_reader, up_writer) = memory_pipe()
+        (reader, writer), (up_reader, up_writer) = memory_pipe(pipe_limit)
         client._server_task = asyncio.ensure_future(
             server.serve_session(up_reader, up_writer,
                                  session_id=client.session_id)

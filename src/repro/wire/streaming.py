@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.boundary import BoundaryKind
-from ..core.errors import ParseError, StreamError
+from ..core.errors import BudgetExceeded, ParseError, StreamError
 from ..core.graph import FormatGraph
 from ..core.message import Message
 from ..core.node import Node, NodeType
@@ -62,14 +62,24 @@ class StreamSource:
     *absolute stream offsets*: :meth:`release` drops an already-consumed
     prefix without renumbering anything, which keeps memory bounded on
     long-lived sessions.
+
+    ``limit`` caps the bytes *held* at any moment: a feed that would grow
+    the retained storage past it raises a typed
+    :class:`~repro.core.errors.BudgetExceeded` before buffering anything.
+    ``last_wait`` is maintained by the windows: the smallest absolute offset
+    a suspended parse can still re-read, i.e. the safe release point while a
+    message is incomplete.
     """
 
-    __slots__ = ("_buffer", "_base", "_eof")
+    __slots__ = ("_buffer", "_base", "_eof", "limit", "last_wait")
 
-    def __init__(self, data: bytes = b"", *, eof: bool = False):
+    def __init__(self, data: bytes = b"", *, eof: bool = False,
+                 limit: int | None = None):
         self._buffer = bytearray(data)
         self._base = 0
         self._eof = eof
+        self.limit = limit
+        self.last_wait = 0
 
     @classmethod
     def of(cls, data: bytes) -> "StreamSource":
@@ -93,10 +103,19 @@ class StreamSource:
     def feed(self, data: bytes) -> None:
         if self._eof:
             raise StreamError("cannot feed bytes after end-of-stream")
+        if self.limit is not None and len(self._buffer) + len(data) > self.limit:
+            raise BudgetExceeded(
+                "stream_bytes", limit=self.limit,
+                actual=len(self._buffer) + len(data),
+            )
         self._buffer += data
 
     def feed_eof(self) -> None:
         self._eof = True
+
+    def buffered_bytes(self) -> int:
+        """Bytes *held* in storage right now (received minus released)."""
+        return len(self._buffer)
 
     def release(self, upto: int) -> None:
         """Drop the bytes before absolute offset ``upto`` (already consumed)."""
@@ -171,6 +190,7 @@ class StreamWindow:
                     f"{count}-byte read",
                     offset=self.cursor,
                 )
+            source.last_wait = self.cursor
             yield NEED_MORE
         data = source.slice(self.cursor, target)
         self.cursor = target
@@ -186,6 +206,7 @@ class StreamWindow:
             return (yield from self.read(self.end - self.cursor))
         source = self.source
         while not source.eof:
+            source.last_wait = self.cursor
             yield NEED_MORE
         data = source.slice(self.cursor, source.length)
         self.cursor = source.length
@@ -217,6 +238,7 @@ class StreamWindow:
             # A partial delimiter may straddle the next chunk: re-scan only
             # from the last position it could have started at.
             search_from = max(self.cursor, limit - len(delimiter) + 1)
+            source.last_wait = self.cursor
             yield NEED_MORE
 
     def at_end(self):
@@ -229,6 +251,7 @@ class StreamWindow:
                 return False
             if source.eof:
                 return True
+            source.last_wait = self.cursor
             yield NEED_MORE
 
     def starts_with(self, prefix: bytes):
@@ -244,6 +267,7 @@ class StreamWindow:
                         "stream ended inside a bounded window", offset=self.cursor
                     )
                 return False
+            source.last_wait = self.cursor
             yield NEED_MORE
         return source.startswith(prefix, self.cursor, target)
 
@@ -284,10 +308,23 @@ class StreamingParser:
     failing, and resumes in place when more bytes are fed.
     """
 
-    def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None):
+    def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None,
+                 max_declared_bytes: int | None = None):
         self.graph = graph
         self.plan = plan if plan is not None else plan_for(graph)
         self._ref_targets = self.plan.ref_targets
+        #: budget on *declared* lengths — checked against the declaration
+        #: itself, before any byte is awaited (let alone buffered) toward it.
+        self.max_declared_bytes = max_declared_bytes
+
+    def _check_declared(self, length: int, node: str) -> int:
+        if (self.max_declared_bytes is not None
+                and length > self.max_declared_bytes):
+            raise BudgetExceeded(
+                "declared_bytes", limit=self.max_declared_bytes,
+                actual=length, node=node,
+            )
+        return length
 
     # -- the per-message machine ----------------------------------------------
 
@@ -337,7 +374,10 @@ class StreamingParser:
         if prebounded:
             return win, True
         if node.boundary.kind is BoundaryKind.LENGTH:
-            length = ctx.ref_value(node.boundary.ref, node=node.name)  # type: ignore[arg-type]
+            length = self._check_declared(
+                ctx.ref_value(node.boundary.ref, node=node.name),  # type: ignore[arg-type]
+                node.name,
+            )
             return win.subwindow(length), True
         return win, False
 
@@ -361,7 +401,10 @@ class StreamingParser:
             if kind is BoundaryKind.DELIMITED:
                 return (yield from win.read_until(node.boundary.delimiter or b""))
             if kind is BoundaryKind.LENGTH:
-                length = ctx.ref_value(node.boundary.ref, node=node.name)  # type: ignore[arg-type]
+                length = self._check_declared(
+                    ctx.ref_value(node.boundary.ref, node=node.name),  # type: ignore[arg-type]
+                    node.name,
+                )
                 return (yield from win.read(length))
             return (yield from win.read_rest())
         except StreamError:
@@ -384,8 +427,10 @@ class StreamingParser:
         if kind is BoundaryKind.FIXED:
             return (yield from win.read(node.boundary.size or 0))
         if kind is BoundaryKind.LENGTH:
-            return (yield from win.read(
-                ctx.ref_value(node.boundary.ref, node=node.name)))  # type: ignore[arg-type]
+            return (yield from win.read(self._check_declared(
+                ctx.ref_value(node.boundary.ref, node=node.name),  # type: ignore[arg-type]
+                node.name,
+            )))
         if kind is BoundaryKind.END:
             return (yield from win.read_rest())
         size = self.plan.static_sizes.get(node.name)
@@ -531,14 +576,32 @@ class StreamingDecoder:
     ``feed_eof()`` flushes the tail: a message suspended on an END boundary
     completes, a message cut mid-field raises :class:`StreamError`.
     ``needs_more`` reports whether a message is currently suspended.
+
+    ``budget`` is any object exposing ``max_stream_bytes`` /
+    ``max_declared_bytes`` / ``max_steps_per_feed`` attributes (``None``
+    meaning unlimited) — typically a
+    :class:`~repro.net.governance.ResourceBudget`, duck-typed so the wire
+    layer stays independent of the net layer.  Violations raise
+    :class:`~repro.core.errors.BudgetExceeded` and latch the decoder dead
+    like any other stream failure.
     """
 
-    def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None):
-        self.parser = StreamingParser(graph, plan=plan)
+    def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None,
+                 budget=None):
+        self.parser = StreamingParser(
+            graph, plan=plan,
+            max_declared_bytes=getattr(budget, "max_declared_bytes", None),
+        )
+        self._max_stream = getattr(budget, "max_stream_bytes", None)
+        self._max_steps = getattr(budget, "max_steps_per_feed", None)
         self._source = StreamSource()
         self._machine = None
         self._start = 0
         self._decoded = 0
+        self._steps = 0
+        # Prefix of the in-flight message already released from the source
+        # (mid-message trim): DecodedMessage.raw still needs those bytes.
+        self._raw_parts = bytearray()
         self._failed: StreamError | None = None
 
     # -- state ----------------------------------------------------------------
@@ -567,12 +630,21 @@ class StreamingDecoder:
     def feed(self, data: bytes) -> list[DecodedMessage]:
         """Buffer ``data`` and return every message it completed."""
         self._check_failed()
+        if (self._max_stream is not None
+                and self.buffered + len(data) > self._max_stream):
+            raise self._fail(BudgetExceeded(
+                "stream_bytes", limit=self._max_stream,
+                actual=self.buffered + len(data),
+                message_index=self._decoded,
+            ))
+        self._steps = 0
         self._source.feed(data)
         return self._pump()
 
     def feed_eof(self) -> list[DecodedMessage]:
         """Signal end-of-stream and return the flushed tail messages."""
         self._check_failed()
+        self._steps = 0
         if not self._source.eof:
             self._source.feed_eof()
         completed = self._pump()
@@ -598,7 +670,11 @@ class StreamingDecoder:
                 self._machine.send(None)
             except StopIteration as stop:
                 message, end = stop.value
-                raw = source.slice(self._start, end)
+                if self._raw_parts:
+                    raw = bytes(self._raw_parts) + source.slice(source.base, end)
+                    self._raw_parts.clear()
+                else:
+                    raw = source.slice(self._start, end)
                 completed.append(DecodedMessage(
                     message=message, raw=raw, start=self._start, end=end,
                 ))
@@ -606,7 +682,19 @@ class StreamingDecoder:
                 self._start = end
                 self._decoded += 1
                 source.release(end)
+                self._steps += 1
+                if self._max_steps is not None and self._steps > self._max_steps:
+                    raise self._fail(BudgetExceeded(
+                        "decode_steps", limit=self._max_steps,
+                        actual=self._steps, message_index=self._decoded,
+                    ))
                 continue
+            except BudgetExceeded as exc:
+                # Keep the typed subclass (and its resource/limit/actual
+                # attribution) intact instead of re-wrapping it away.
+                if exc.message_index is None:
+                    exc.message_index = self._decoded
+                raise self._fail(exc)
             except StreamError as exc:
                 wrapped = StreamError(str(exc), message_index=self._decoded)
                 wrapped.offset, wrapped.node = exc.offset, exc.node
@@ -618,8 +706,27 @@ class StreamingDecoder:
                 )
                 wrapped.offset, wrapped.node = exc.offset, exc.node
                 raise self._fail(wrapped) from exc
-            break  # the machine yielded NEED_MORE: wait for the next feed
+            # The machine yielded NEED_MORE: drop the consumed prefix of the
+            # in-flight message before waiting, so a stalled multi-record
+            # feed cannot pin the whole stream history in memory.
+            self._trim()
+            break
         return completed
+
+    def _trim(self) -> None:
+        """Release bytes a suspended parse can no longer re-read.
+
+        ``source.last_wait`` is the cursor of the deepest suspended window —
+        the minimum offset any resumed read will touch (parent cursors sit at
+        or past their child's end, and delimiter re-scans never start before
+        the cursor).  Everything before it is retained only for
+        :class:`DecodedMessage.raw`, so it moves into ``_raw_parts``.
+        """
+        source = self._source
+        safe = source.last_wait
+        if safe > source.base:
+            self._raw_parts += source.slice(source.base, safe)
+            source.release(safe)
 
     def _fail(self, error: StreamError) -> StreamError:
         self._failed = error
