@@ -4,7 +4,9 @@ The generated source can be written to disk and imported like any module, or
 compiled and executed in memory for the benchmarks.  :class:`GeneratedCodec`
 wraps a loaded module behind the same ``serialize`` / ``parse`` interface as
 :class:`repro.wire.WireCodec`, which lets the test suite check that the two
-are byte-for-byte interchangeable.
+are byte-for-byte interchangeable; :class:`SpecializedCodec` does the same
+for the specializing emitter's straight-line modules, translating their
+``GeneratedCodecError`` back into the interpreted runtime's typed errors.
 """
 
 from __future__ import annotations
@@ -13,16 +15,38 @@ import types
 from pathlib import Path
 from random import Random
 
-from ..core.errors import CodegenError
+from ..core.errors import CodegenError, ParseError, SerializationError
 from ..core.graph import FormatGraph
 from ..core.message import Message
-from .emitter import generate_module
+from .emitter import EMITTER_VERSION, generate_module
 
 _MODULE_COUNTER = 0
 
 
-def load_source(source: str, *, module_name: str | None = None) -> types.ModuleType:
-    """Compile and execute generated source code, returning the module object."""
+def check_module_version(module: types.ModuleType) -> None:
+    """Refuse a generated module emitted by a different emitter version.
+
+    A stale module (e.g. an on-disk cache entry written by an older emitter)
+    must be regenerated, never silently run: the emitted API and semantics are
+    only guaranteed for the current :data:`EMITTER_VERSION`.
+    """
+    version = getattr(module, "__emitter_version__", None)
+    if version != EMITTER_VERSION:
+        raise CodegenError(
+            f"generated module was emitted by emitter version {version!r}, "
+            f"this runtime requires {EMITTER_VERSION!r}; regenerate it"
+        )
+
+
+def load_source(source: str, *, module_name: str | None = None,
+                require_version: bool = False) -> types.ModuleType:
+    """Compile and execute generated source code, returning the module object.
+
+    A module *declaring* an emitter version other than the current one is
+    always refused.  ``require_version=True`` additionally refuses modules
+    carrying no version stamp at all (used for sources read back from disk,
+    where an unstamped file is by definition stale).
+    """
     global _MODULE_COUNTER
     _MODULE_COUNTER += 1
     name = module_name or f"repro_generated_{_MODULE_COUNTER}"
@@ -33,6 +57,17 @@ def load_source(source: str, *, module_name: str | None = None) -> types.ModuleT
         exec(code, module.__dict__)
     except SyntaxError as exc:  # pragma: no cover - emitter bugs only
         raise CodegenError(f"generated module does not compile: {exc}") from exc
+    declared = getattr(module, "__emitter_version__", None)
+    if declared is not None and declared != EMITTER_VERSION:
+        raise CodegenError(
+            f"generated module was emitted by emitter version {declared!r}, "
+            f"this runtime requires {EMITTER_VERSION!r}; regenerate it"
+        )
+    if require_version and declared is None:
+        raise CodegenError(
+            "generated module carries no __emitter_version__ stamp; "
+            f"this runtime requires {EMITTER_VERSION!r}; regenerate it"
+        )
     return module
 
 
@@ -66,6 +101,51 @@ class GeneratedCodec:
     def parse_ast(self, data: bytes) -> object:
         """Parse wire bytes into the generated AST struct classes."""
         return self.module.parse_ast(data)
+
+    def round_trips(self, message: Message | dict) -> bool:
+        """True when serialize→parse reproduces the logical message exactly."""
+        logical = message if isinstance(message, Message) else Message.from_dict(message)
+        return self.parse(self.serialize(logical)) == logical
+
+
+class SpecializedCodec:
+    """A loaded *specialized* module behind the WireCodec interface.
+
+    Failures raised by the module's ``GeneratedCodecError`` are translated
+    back into the interpreted runtime's typed errors with the same raw
+    message, offset and node identity, so callers observe byte-for-byte
+    identical behavior on malformed input.
+    """
+
+    def __init__(self, graph: FormatGraph, *, seed: int | None = None,
+                 source: str | None = None,
+                 module: types.ModuleType | None = None):
+        self.graph = graph
+        if module is not None:
+            self.source = source
+            self.module = module
+        else:
+            if source is None:
+                source = generate_module(graph, specialize=True)
+            self.source = source
+            self.module = load_source(source)
+        self._error = self.module.GeneratedCodecError
+        self._rng = Random(seed if seed is not None else 0)
+
+    def serialize(self, message: Message | dict) -> bytes:
+        """Serialize a logical message with the specialized module."""
+        logical = message.to_dict() if isinstance(message, Message) else message
+        try:
+            return self.module.serialize(logical, rng=self._rng)
+        except self._error as exc:
+            raise SerializationError(exc.raw) from exc
+
+    def parse(self, data: bytes, *, strict: bool = True) -> Message:
+        """Parse wire bytes with the specialized module."""
+        try:
+            return Message(self.module.parse(data, strict=strict))
+        except self._error as exc:
+            raise ParseError(exc.raw, offset=exc.offset, node=exc.node) from exc
 
     def round_trips(self, message: Message | dict) -> bool:
         """True when serialize→parse reproduces the logical message exactly."""

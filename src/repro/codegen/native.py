@@ -1,0 +1,145 @@
+"""Optional ahead-of-time compilation of emitted codec modules.
+
+The specialized modules are plain Python and already clear the throughput
+gate interpreted; when a supported compiler toolchain is installed the same
+source can additionally be compiled to a native extension.  Two backends are
+probed, in order:
+
+* **mypyc** — compiles the emitted module as-is (it is already straight-line,
+  monomorphic code, the shape mypyc optimizes best),
+* **Cython** — ``cythonize`` in pure-Python mode.
+
+Neither toolchain is a dependency of this project.  Every import, build and
+load step is guarded: any missing package, compiler error or import failure
+makes :func:`compile_native` return ``None`` and callers silently continue
+with the pure-Python module.  The build is also gated behind an explicit
+opt-in (the ``native=True`` argument or the ``REPRO_NATIVE_CODEC``
+environment variable), so no workflow pays a compiler invocation by default.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import tempfile
+import types
+from pathlib import Path
+
+#: Environment variable enabling native compilation attempts ("1"/"true").
+NATIVE_ENV = "REPRO_NATIVE_CODEC"
+
+
+def native_enabled() -> bool:
+    """True when the environment opts into native compilation attempts."""
+    return os.environ.get(NATIVE_ENV, "").lower() in ("1", "true", "yes")
+
+
+def available_backends() -> list[str]:
+    """Names of the native backends importable in this interpreter."""
+    backends = []
+    for backend, probe in (("mypyc", "mypyc.build"), ("cython", "Cython.Build")):
+        try:
+            if importlib.util.find_spec(probe) is not None:
+                backends.append(backend)
+        except (ImportError, ValueError):
+            continue
+    return backends
+
+
+def _load_extension(directory: Path, module_name: str) -> types.ModuleType | None:
+    """Import the built extension from ``directory``, or ``None``."""
+    for candidate in directory.glob(f"{module_name}.*"):
+        if candidate.suffix in (".so", ".pyd"):
+            spec = importlib.util.spec_from_file_location(module_name, candidate)
+            if spec is None or spec.loader is None:
+                return None
+            module = importlib.util.module_from_spec(spec)
+            try:
+                spec.loader.exec_module(module)
+            except Exception:
+                return None
+            return module
+    return None
+
+
+def _build_mypyc(source_path: Path, build_dir: Path) -> types.ModuleType | None:
+    try:
+        from mypyc.build import mypycify  # type: ignore[import-not-found]
+        from setuptools.dist import Distribution
+    except Exception:
+        return None
+    try:
+        extensions = mypycify([str(source_path)], target_dir=str(build_dir))
+        dist = Distribution({"ext_modules": extensions})
+        cmd = dist.get_command_obj("build_ext")
+        cmd.build_lib = str(build_dir)  # type: ignore[union-attr]
+        cmd.ensure_finalized()  # type: ignore[union-attr]
+        cmd.run()  # type: ignore[union-attr]
+        return _load_extension(build_dir, source_path.stem)
+    except Exception:
+        return None
+
+
+def _build_cython(source_path: Path, build_dir: Path) -> types.ModuleType | None:
+    try:
+        from Cython.Build import cythonize  # type: ignore[import-not-found]
+        from setuptools.dist import Distribution
+    except Exception:
+        return None
+    try:
+        extensions = cythonize(
+            [str(source_path)], quiet=True,
+            compiler_directives={"language_level": "3"},
+        )
+        dist = Distribution({"ext_modules": extensions})
+        cmd = dist.get_command_obj("build_ext")
+        cmd.build_lib = str(build_dir)  # type: ignore[union-attr]
+        cmd.ensure_finalized()  # type: ignore[union-attr]
+        cmd.run()  # type: ignore[union-attr]
+        return _load_extension(build_dir, source_path.stem)
+    except Exception:
+        return None
+
+
+def compile_native(source: str, *, module_name: str = "repro_codec_native",
+                   build_dir: str | Path | None = None) -> types.ModuleType | None:
+    """Try to compile emitted codec ``source`` to a native extension module.
+
+    Returns the loaded extension module, or ``None`` when no backend is
+    installed or any step of the build fails — callers fall back to the
+    pure-Python module with no behavioral difference (equivalence is a
+    property of the *source*, which both paths share).
+    """
+    backends = available_backends()
+    if not backends:
+        return None
+    directory = Path(build_dir) if build_dir is not None else Path(
+        tempfile.mkdtemp(prefix="repro_native_")
+    )
+    source_path = directory / f"{module_name}.py"
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        source_path.write_text(source, encoding="utf-8")
+    except OSError:
+        return None
+    for backend in backends:
+        builder = _build_mypyc if backend == "mypyc" else _build_cython
+        module = builder(source_path, directory)
+        if module is not None:
+            module.__dict__.setdefault("__native_backend__", backend)
+            return module
+    return None
+
+
+def maybe_native(source: str, fallback: types.ModuleType, *,
+                 native: bool | None = None) -> types.ModuleType:
+    """The native build of ``source`` when opted in and possible, else ``fallback``.
+
+    ``native=None`` defers to the ``REPRO_NATIVE_CODEC`` environment switch.
+    """
+    if native is None:
+        native = native_enabled()
+    if not native:
+        return fallback
+    module = compile_native(source)
+    return module if module is not None else fallback

@@ -198,9 +198,7 @@ class RecordDecoder:
     def __init__(self, graph: FormatGraph, *, plan: CodecPlan | None = None,
                  key_resolver: "Callable[[str], FormatGraph] | None" = None,
                  resync: bool = False, max_record_size: int | None = None,
-                 budget=None):
-        from ..wire.parser import Parser  # local: keeps module import light
-
+                 budget=None, parser_factory=None):
         if max_record_size is None:
             max_record_size = getattr(budget, "max_declared_bytes", None)
         if max_record_size is None:
@@ -211,7 +209,11 @@ class RecordDecoder:
                 f"({max_record_size}): the control-record sentinels live above"
             )
         self.graph = graph
-        self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
+        #: graph -> parser-like (``parse(payload, strict=True)``); lets a
+        #: session swap in the specialized compiled codec tier, including
+        #: across rotations (the factory is re-invoked per rotated-to graph).
+        self._parser_factory = parser_factory
+        self._parser = self._make_parser(graph, plan)
         self._key_resolver = key_resolver
         self.resync = resync
         self.max_record_size = max_record_size
@@ -231,6 +233,13 @@ class RecordDecoder:
         self._steps = 0
         self._payload_offset = 0
         self._failed: StreamError | None = None
+
+    def _make_parser(self, graph: FormatGraph, plan: "CodecPlan | None" = None):
+        if self._parser_factory is not None:
+            return self._parser_factory(graph)
+        from ..wire.parser import Parser  # local: keeps module import light
+
+        return Parser(graph, plan=plan if plan is not None else plan_for(graph))
 
     @property
     def needs_more(self) -> bool:
@@ -293,8 +302,6 @@ class RecordDecoder:
         directly instead, because bytes buffered *behind* the control record
         already belong to the new dialect.
         """
-        from ..wire.parser import Parser  # local: keeps module import light
-
         if self._buffer:
             raise StreamError(
                 f"cannot rotate the decoder with {len(self._buffer)} byte(s) "
@@ -302,12 +309,10 @@ class RecordDecoder:
                 f"records first"
             )
         self.graph = graph
-        self._parser = Parser(graph, plan=plan if plan is not None else plan_for(graph))
+        self._parser = self._make_parser(graph, plan)
         self.current_key = key_id
 
     def _drain(self) -> "list[DecodedMessage | RotationEvent | CorruptRecord | BusyEvent]":
-        from ..wire.parser import Parser  # local: keeps module import light
-
         completed: "list[DecodedMessage | RotationEvent | CorruptRecord | BusyEvent]" = []
         while True:
             if len(self._buffer) < RECORD_HEADER:
@@ -342,7 +347,7 @@ class RecordDecoder:
                 # Swap directly: any bytes buffered behind the control record
                 # were serialized under the new dialect by stream order.
                 self.graph = graph
-                self._parser = Parser(graph, plan=plan_for(graph))
+                self._parser = self._make_parser(graph)
                 self.current_key = key_id
                 self.rotations += 1
                 completed.append(RotationEvent(key_id))
@@ -421,7 +426,8 @@ def make_decoder(graph: FormatGraph, framing: str, *,
                  plan: CodecPlan | None = None,
                  key_resolver: "Callable[[str], FormatGraph] | None" = None,
                  resync: bool = False, budget=None,
-                 max_record_size: int | None = None):
+                 max_record_size: int | None = None,
+                 parser_factory=None):
     """Instantiate the incremental decoder matching a resolved framing.
 
     ``key_resolver`` enables rotation control records; only record framing
@@ -432,6 +438,10 @@ def make_decoder(graph: FormatGraph, framing: str, *,
     ``budget`` (a :class:`~repro.net.governance.ResourceBudget` or any
     duck-typed equivalent) threads per-session limits into either decoder;
     ``max_record_size`` additionally overrides the record-size ceiling.
+    ``parser_factory`` (graph → object with ``parse(payload, strict=True)``)
+    swaps whole-record parsing to an alternative codec tier — the specialized
+    compiled modules in practice.  Record framing only: native framing parses
+    incrementally and keeps the interpreted streaming decoder.
     """
     if framing == "native":
         if key_resolver is not None:
@@ -448,7 +458,8 @@ def make_decoder(graph: FormatGraph, framing: str, *,
     if framing == "record":
         return RecordDecoder(graph, plan=plan, key_resolver=key_resolver,
                              resync=resync, budget=budget,
-                             max_record_size=max_record_size)
+                             max_record_size=max_record_size,
+                             parser_factory=parser_factory)
     raise ValueError(f"unresolved framing {framing!r}")
 
 

@@ -39,7 +39,7 @@ from collections import deque
 from dataclasses import dataclass
 from random import Random
 
-from ..core.errors import BudgetExceeded, StreamError
+from ..core.errors import BudgetExceeded, SerializationError, StreamError
 from ..core.graph import FormatGraph
 from ..core.message import Message
 from ..protocols import registry
@@ -336,6 +336,43 @@ class _MessagePump:
             self._ingest(self._decoder.feed(chunk))
 
 
+class _SpecializedSerializer:
+    """Serializer facade over a specialized compiled module.
+
+    Drop-in for the interpreted :class:`~repro.wire.Serializer` on the
+    session hot path: same ``serialize`` surface, byte-identical output
+    (pad/split draws consume the shared RNG in the same order).  Span
+    recording still needs the interpreted piece machinery, so
+    ``serialize_with_spans`` delegates to an embedded interpreted serializer
+    over the *same* RNG — the byte stream stays identical either way.
+    """
+
+    __slots__ = ("graph", "_module", "_error", "_rng", "_plan", "_interpreted")
+
+    def __init__(self, graph: FormatGraph, *, rng: Random, plan=None):
+        from ..codegen.cache import cached_module
+
+        self.graph = graph
+        self._module = cached_module(graph, specialize=True)
+        self._error = self._module.GeneratedCodecError
+        self._rng = rng
+        self._plan = plan
+        self._interpreted: Serializer | None = None
+
+    def serialize(self, message: Message) -> bytes:
+        logical = message.raw if isinstance(message, Message) else message
+        try:
+            return self._module.serialize(logical, rng=self._rng)
+        except self._error as exc:
+            raise SerializationError(exc.raw) from exc
+
+    def serialize_with_spans(self, message: Message):
+        if self._interpreted is None:
+            plan = self._plan if self._plan is not None else plan_for(self.graph)
+            self._interpreted = Serializer(self.graph, rng=self._rng, plan=plan)
+        return self._interpreted.serialize_with_spans(message)
+
+
 class _Endpoint:
     """Graphs, framings, codecs and capture policy shared by one endpoint."""
 
@@ -347,7 +384,8 @@ class _Endpoint:
                  capture: Capture | None = None,
                  record_spans: bool | None = None,
                  capture_received: bool = False,
-                 plan_book: PlanBook | None = None):
+                 plan_book: PlanBook | None = None,
+                 specialize: bool = False):
         self.setup = (registry.get(protocol) if isinstance(protocol, str)
                       else protocol)
         self.plan_book = plan_book
@@ -396,6 +434,11 @@ class _Endpoint:
         self.response_plan = plan_for(self.response_graph)
         self.request_framing = resolve_framing(self.request_graph, framing)
         self.response_framing = resolve_framing(self.response_graph, framing)
+        #: run this endpoint's codecs on the specialized compiled tier:
+        #: serializers use the straight-line emitted modules, and (under
+        #: record framing) whole-record parsing does too.  Byte- and
+        #: error-identical to the interpreted runtime, several times faster.
+        self.specialize = specialize
         self.seed = seed
         self.capture = capture
         self.capture_received = capture_received
@@ -404,17 +447,39 @@ class _Endpoint:
         if self.capture is not None and self.capture.protocol is None:
             self.capture.protocol = self.setup.key
 
-    def serializer(self, direction: str) -> Serializer:
+    def serializer(self, direction: str):
         """A fresh serializer of one direction, seeded deterministically."""
         if direction == "request":
-            return Serializer(self.request_graph, rng=Random(self.seed),
-                              plan=self.request_plan)
-        return Serializer(self.response_graph, rng=Random(self.seed),
-                          plan=self.response_plan)
+            graph, plan = self.request_graph, self.request_plan
+        else:
+            graph, plan = self.response_graph, self.response_plan
+        if self.specialize:
+            return _SpecializedSerializer(graph, rng=Random(self.seed), plan=plan)
+        return Serializer(graph, rng=Random(self.seed), plan=plan)
 
-    def key_serializer(self, graph: FormatGraph) -> Serializer:
+    def key_serializer(self, graph: FormatGraph):
         """A fresh serializer over a rotated-to graph, seeded like the others."""
+        if self.specialize:
+            return _SpecializedSerializer(graph, rng=Random(self.seed))
         return Serializer(graph, rng=Random(self.seed), plan=plan_for(graph))
+
+    def parser_factory(self, framing: str):
+        """The decoder's parser factory for one direction's resolved framing.
+
+        Specialized endpoints decode whole record payloads through the
+        compiled tier; native framing parses incrementally and stays on the
+        interpreted streaming decoder, so it gets no factory.
+        """
+        if not self.specialize or framing != "record":
+            return None
+
+        from ..codegen.cache import cached_module
+        from ..codegen.loader import SpecializedCodec
+
+        def factory(graph: FormatGraph) -> SpecializedCodec:
+            return SpecializedCodec(graph, module=cached_module(graph, specialize=True))
+
+        return factory
 
     def encode(self, serializer: Serializer, message: Message):
         """Serialize one message, returning ``(payload, spans-or-None)``."""
@@ -505,12 +570,13 @@ class ObfuscatedServer:
                  max_sessions: int | None = None,
                  budget: ResourceBudget | None = None,
                  governor: LoadGovernor | None = None,
-                 clock=None):
+                 clock=None,
+                 specialize: bool = False):
         self._endpoint = _Endpoint(
             protocol, request_graph=request_graph, response_graph=response_graph,
             framing=framing, seed=seed, capture=capture,
             record_spans=record_spans, capture_received=capture_received,
-            plan_book=plan_book,
+            plan_book=plan_book, specialize=specialize,
         )
         if responder is registry.DEFAULT:
             responder = self._endpoint.setup.responder
@@ -596,7 +662,9 @@ class ObfuscatedServer:
                                plan=endpoint.request_plan,
                                key_resolver=key_resolver,
                                resync=self.resync,
-                               budget=self.budget)
+                               budget=self.budget,
+                               parser_factory=endpoint.parser_factory(
+                                   endpoint.request_framing))
         stats = SessionStats(session)
         load = (self.governor.register(session)
                 if self.governor is not None else None)
@@ -803,7 +871,8 @@ class ObfuscatedClient:
                  timeouts: TimeoutConfig | None = None,
                  retry: RetryPolicy | None = None,
                  budget: ResourceBudget | None = None,
-                 clock=None):
+                 clock=None,
+                 specialize: bool = False):
         self.resync = resync
         #: per-session resource limits on the response stream (None = off).
         self.budget = budget
@@ -811,7 +880,7 @@ class ObfuscatedClient:
             protocol, request_graph=request_graph, response_graph=response_graph,
             framing=framing, seed=seed, capture=capture,
             record_spans=record_spans, capture_received=capture_received,
-            plan_book=plan_book,
+            plan_book=plan_book, specialize=specialize,
         )
         self.session_id = (session_id if session_id is not None
                            else f"client-{next(self._ids)}")
@@ -856,7 +925,9 @@ class ObfuscatedClient:
                                endpoint.response_framing,
                                plan=endpoint.response_plan,
                                resync=self.resync,
-                               budget=self.budget)
+                               budget=self.budget,
+                               parser_factory=endpoint.parser_factory(
+                                   endpoint.response_framing))
         self._pump = _MessagePump(reader, decoder, budget=self.budget,
                                   stats=self.stats)
         return self

@@ -111,6 +111,24 @@ class ProtocolSetup:
         """Cached codec plan of the canonical graph of one direction."""
         return plan_for(self.reference_graph(direction))
 
+    def compiled_codec(self, direction: str = "request", *,
+                       seed: int | None = None):
+        """Specialized compiled codec of one direction's canonical graph.
+
+        The straight-line module is emitted and loaded at most once per
+        dialect fingerprint (the codegen module cache); each call wraps that
+        shared module in a fresh :class:`~repro.codegen.SpecializedCodec`
+        with its own serializer RNG, so concurrent sessions never share
+        random state.  Byte- and error-identical to the interpreted runtime,
+        several times faster.
+        """
+        from ..codegen.cache import cached_module
+        from ..codegen.loader import SpecializedCodec
+
+        graph = self.reference_graph(direction)
+        module = cached_module(graph, specialize=True)
+        return SpecializedCodec(graph, seed=seed, module=module)
+
 
 _REGISTRY: dict[str, ProtocolSetup] = {}
 

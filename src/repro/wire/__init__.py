@@ -3,7 +3,15 @@
 from .codec import WireCodec
 from .parser import Parser, parse
 from .pieces import Chunk, LengthSlot, PieceList
-from .plan import CodecPlan, TerminalPlan, compile_plan, invalidate, plan_for
+from .plan import (
+    CodecPlan,
+    TerminalPlan,
+    cache_stats,
+    compile_plan,
+    invalidate,
+    plan_for,
+    reset_cache_stats,
+)
 from .serializer import Serializer, serialize, serialize_with_spans
 from .spans import FieldSpan, boundaries
 from .streaming import (
@@ -37,12 +45,14 @@ __all__ = [
     "Window",
     "WireCodec",
     "boundaries",
+    "cache_stats",
     "compile_plan",
     "decode_stream",
     "invalidate",
     "is_self_framing",
     "parse",
     "plan_for",
+    "reset_cache_stats",
     "serialize",
     "serialize_with_spans",
     "stream_greedy_nodes",

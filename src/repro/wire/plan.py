@@ -36,6 +36,7 @@ node mutated after compilation.
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
@@ -736,20 +737,34 @@ def compile_plan(graph: FormatGraph) -> CodecPlan:
 # the shared plan cache
 # ---------------------------------------------------------------------------
 
-#: Plans keyed by graph identity (unstamped graphs).  Plans hold no reference
-#: to their graph, so entries are evicted as soon as the graph itself is
-#: garbage collected.
-_PLAN_CACHE: "weakref.WeakKeyDictionary[FormatGraph, CodecPlan]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Plans keyed by graph identity (unstamped graphs), least-recently-used
+#: first.  Each entry holds a dead-callback weakref to its graph, so entries
+#: evict both on garbage collection *and* — the case weak references alone
+#: cannot bound — when a long-lived rotation-heavy server keeps thousands of
+#: dialect graphs alive at once: beyond the capacity the least recently used
+#: plan is dropped (and recompiled on demand if that graph comes back).
+_PLAN_CACHE: "OrderedDict[int, tuple[weakref.ref, CodecPlan]]" = OrderedDict()
+_PLAN_CACHE_CAPACITY = 128
 
 #: Plans keyed by obfuscation-plan fingerprint (stamped graphs).  The key is
 #: content-derived, so two replays of the same plan — different graph objects,
 #: different processes compiling independently — resolve to one slot.  Bounded
-#: FIFO: rotation workloads cycle through many plans, and an unbounded
+#: LRU: rotation workloads cycle through many plans, and an unbounded
 #: content-keyed dict would never evict.
-_FINGERPRINT_PLANS: "dict[str, CodecPlan]" = {}
+_FINGERPRINT_PLANS: "OrderedDict[str, CodecPlan]" = OrderedDict()
 _FINGERPRINT_CAPACITY = 64
+
+#: Hit/miss/evict counters of both cache levels (diagnostics: a long-lived
+#: server can watch eviction churn to detect a capacity set too low).
+_CACHE_STATS = {
+    "identity_hits": 0, "identity_misses": 0, "identity_evictions": 0,
+    "fingerprint_hits": 0, "fingerprint_misses": 0, "fingerprint_evictions": 0,
+}
+
+
+def _forget_identity(key: int) -> None:
+    """Weakref death callback: drop the entry of a collected graph."""
+    _PLAN_CACHE.pop(key, None)
 
 
 def plan_for(graph: FormatGraph) -> CodecPlan:
@@ -757,21 +772,35 @@ def plan_for(graph: FormatGraph) -> CodecPlan:
 
     Stamped graphs (``graph.plan_fingerprint`` set by the obfuscation-plan
     layer) share their compiled plan with every other graph replayed from the
-    same plan; unstamped graphs are cached per object identity.
+    same plan; unstamped graphs are cached per object identity in a bounded
+    LRU.
     """
     fingerprint = getattr(graph, "plan_fingerprint", None)
     if fingerprint is not None:
         plan = _FINGERPRINT_PLANS.get(fingerprint)
-        if plan is None:
-            plan = compile_plan(graph)
-            while len(_FINGERPRINT_PLANS) >= _FINGERPRINT_CAPACITY:
-                _FINGERPRINT_PLANS.pop(next(iter(_FINGERPRINT_PLANS)))
-            _FINGERPRINT_PLANS[fingerprint] = plan
-        return plan
-    plan = _PLAN_CACHE.get(graph)
-    if plan is None:
+        if plan is not None:
+            _CACHE_STATS["fingerprint_hits"] += 1
+            _FINGERPRINT_PLANS.move_to_end(fingerprint)
+            return plan
+        _CACHE_STATS["fingerprint_misses"] += 1
         plan = compile_plan(graph)
-        _PLAN_CACHE[graph] = plan
+        while len(_FINGERPRINT_PLANS) >= _FINGERPRINT_CAPACITY:
+            _FINGERPRINT_PLANS.popitem(last=False)
+            _CACHE_STATS["fingerprint_evictions"] += 1
+        _FINGERPRINT_PLANS[fingerprint] = plan
+        return plan
+    key = id(graph)
+    entry = _PLAN_CACHE.get(key)
+    if entry is not None and entry[0]() is graph:
+        _CACHE_STATS["identity_hits"] += 1
+        _PLAN_CACHE.move_to_end(key)
+        return entry[1]
+    _CACHE_STATS["identity_misses"] += 1
+    plan = compile_plan(graph)
+    while len(_PLAN_CACHE) >= _PLAN_CACHE_CAPACITY:
+        _PLAN_CACHE.popitem(last=False)
+        _CACHE_STATS["identity_evictions"] += 1
+    _PLAN_CACHE[key] = (weakref.ref(graph, lambda _ref, _k=key: _forget_identity(_k)), plan)
     return plan
 
 
@@ -783,7 +812,7 @@ def invalidate(graph: FormatGraph) -> bool:
     itself stays — other replays of the same plan remain valid.  Returns True
     when a cached plan or a stamp was actually dropped.
     """
-    dropped = _PLAN_CACHE.pop(graph, None) is not None
+    dropped = _PLAN_CACHE.pop(id(graph), None) is not None
     if getattr(graph, "plan_fingerprint", None) is not None:
         graph.plan_fingerprint = None
         dropped = True
@@ -793,3 +822,14 @@ def invalidate(graph: FormatGraph) -> bool:
 def cached_plan_count() -> int:
     """Number of live cached plans (diagnostics and tests)."""
     return len(_PLAN_CACHE) + len(_FINGERPRINT_PLANS)
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/evict counters of both plan-cache levels (a copy)."""
+    return dict(_CACHE_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the cache counters (test isolation and fresh measurement runs)."""
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
